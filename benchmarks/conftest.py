@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper's evaluation with
+the experiment drivers in :mod:`repro.experiments.figures`, asserts the
+qualitative shape the paper reports (who wins, roughly by how much, where the
+crossovers are) and writes the rendered rows/series to
+``benchmarks/results/<figure>.txt`` so EXPERIMENTS.md can quote them.
+
+The flow counts used here are sized so the full suite finishes in a few
+minutes on a laptop while keeping the publication-shaped behaviour; pass
+``--quick-bench`` to cut them further during development.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentRunner
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick-bench",
+        action="store_true",
+        default=False,
+        help="run the figure benchmarks with reduced flow counts",
+    )
+
+
+@pytest.fixture(scope="session")
+def flow_scale(request) -> float:
+    """Multiplier applied to every benchmark's flow count."""
+    return 0.25 if request.config.getoption("--quick-bench") else 1.0
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    """One ExperimentRunner shared by the whole benchmark session (topology
+    construction is cached inside it)."""
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Callable that persists a FigureResult's rendering next to the bench."""
+
+    def _save(figure_result):
+        path = results_dir / f"{figure_result.figure}.txt"
+        path.write_text(figure_result.render() + "\n")
+        return path
+
+    return _save

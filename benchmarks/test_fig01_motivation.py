@@ -1,0 +1,34 @@
+"""Benchmark E0 — paper Fig. 1b/1c (motivation).
+
+Regenerates the per-link utilisation table and the FCT-slowdown comparison
+for WebSearch at 30 % load on the 8-DC topology (ECMP vs UCMP vs LCMP).
+
+Expected shape (paper): ECMP spreads traffic obliviously (some lands on the
+250 ms relay), UCMP concentrates on the high-capacity/high-delay relays and
+leaves the low-capacity ones at 0 %, and LCMP achieves the lowest median and
+tail FCT slowdown.
+"""
+
+import pytest
+
+from repro.experiments import figure1
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_motivation(benchmark, runner, save_result, flow_scale):
+    result = benchmark.pedantic(
+        figure1,
+        kwargs=dict(num_flows=int(1200 * flow_scale), runner=runner),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+
+    metrics = result.metrics
+    # LCMP wins on both percentiles (Fig. 1c)
+    assert metrics["p50_lcmp"] < metrics["p50_ecmp"]
+    assert metrics["p50_lcmp"] < metrics["p50_ucmp"]
+    assert metrics["p99_lcmp"] < metrics["p99_ecmp"]
+    assert metrics["p99_lcmp"] < metrics["p99_ucmp"]
+    # UCMP's capacity-only bias is the most imbalanced placement (Fig. 1b)
+    assert metrics["imbalance_ucmp"] > metrics["imbalance_ecmp"]

@@ -1,0 +1,37 @@
+"""Benchmark E1 — paper Fig. 5 (8-DC testbed comparison).
+
+Median and tail FCT slowdown for WebSearch under DCQCN at 30/50/80 % load,
+LCMP vs ECMP, UCMP and RedTE.
+
+Expected shape (paper): LCMP reduces the median slowdown by tens of percent
+against every baseline at every load, and the P99 slowdown even more; RedTE's
+100 ms control loop leaves it close to ECMP.
+"""
+
+import pytest
+
+from repro.experiments import figure5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_testbed_loads(benchmark, runner, save_result, flow_scale):
+    result = benchmark.pedantic(
+        figure5,
+        kwargs=dict(num_flows=int(1500 * flow_scale), loads=(0.3, 0.5, 0.8), runner=runner),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+
+    for load in ("30% load", "50% load", "80% load"):
+        series = result.groups[load]
+        lcmp = series["lcmp"]
+        for baseline in ("ecmp", "ucmp", "redte"):
+            # LCMP's median never loses to a baseline, and its tail is no
+            # worse than the baseline's (it usually wins by a large margin)
+            assert lcmp.overall_p50 < series[baseline].overall_p50, (load, baseline)
+            assert lcmp.overall_p99 <= series[baseline].overall_p99 * 1.05, (load, baseline)
+        # at least one baseline suffers a large median penalty (>= 25 %)
+        assert max(
+            result.metrics[f"{load}_p50_reduction_vs_{b}"] for b in ("ecmp", "ucmp", "redte")
+        ) >= 0.25

@@ -1,0 +1,26 @@
+"""Benchmark E1b — paper Fig. 6 (simulator fidelity).
+
+Correlates per-size-bin P50/P99 slowdowns between the clean "simulator"
+profile and the noisier, smaller "testbed" profile.
+
+Expected shape (paper): near-linear correlation — Pearson >= 0.95 (P50) and
+>= 0.97 (P99) in the paper; we require a strong positive correlation.
+"""
+
+import pytest
+
+from repro.experiments import figure6
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_fidelity(benchmark, runner, save_result, flow_scale):
+    result = benchmark.pedantic(
+        figure6,
+        kwargs=dict(num_flows=int(1500 * flow_scale), runner=runner),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+
+    assert result.metrics["pearson_p50"] >= 0.8
+    assert result.metrics["pearson_p99"] >= 0.8

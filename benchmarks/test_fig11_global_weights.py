@@ -1,0 +1,32 @@
+"""Benchmark E6b — paper Fig. 11b (global fusion-weight sensitivity).
+
+Sweeps (alpha, beta) over {(3,1), (1,1), (1,3)}.
+
+Expected shape (paper): all three settings give similar medians; the
+delay-biased (3,1) setting yields the smallest tails, so it is the
+recommended production default.
+"""
+
+import pytest
+
+from repro.experiments import figure11_global_weights
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11b_global_weights(benchmark, runner, save_result, flow_scale):
+    result = benchmark.pedantic(
+        figure11_global_weights,
+        kwargs=dict(num_flows=int(1500 * flow_scale), runner=runner),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+
+    m = result.metrics
+    # medians are in the same ballpark across settings (within ~2x)
+    medians = [m["p50_alpha:beta=3:1"], m["p50_alpha:beta=1:1"], m["p50_alpha:beta=1:3"]]
+    assert max(medians) <= min(medians) * 2.5
+    # the recommended delay-biased default has the best (or tied-best) tail
+    assert m["p99_alpha:beta=3:1"] <= min(
+        m["p99_alpha:beta=1:1"], m["p99_alpha:beta=1:3"]
+    ) * 1.05

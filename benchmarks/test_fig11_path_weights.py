@@ -1,0 +1,29 @@
+"""Benchmark E6c — paper Fig. 11c (path-quality weight sensitivity).
+
+Sweeps (w_dl, w_lc) over {(3,1), (1,1), (1,3)} inside C_path.
+
+Expected shape (paper): the delay-biased (3,1) setting gives the best medians
+and tails; the capacity-biased (1,3) setting performs worst because it sends
+latency-sensitive flows onto high-capacity but slow links.
+"""
+
+import pytest
+
+from repro.experiments import figure11_path_weights
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11c_path_weights(benchmark, runner, save_result, flow_scale):
+    result = benchmark.pedantic(
+        figure11_path_weights,
+        kwargs=dict(num_flows=int(1500 * flow_scale), runner=runner),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+
+    m = result.metrics
+    # capacity-biased weighting is the worst configuration on the median
+    assert m["p50_dl:lc=1:3"] >= m["p50_dl:lc=3:1"]
+    # delay-biased weighting has the best (or tied-best) tail
+    assert m["p99_dl:lc=3:1"] <= m["p99_dl:lc=1:3"] * 1.05

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Data-plane fast-failover demo (paper §3.4, fault tolerance).
+
+LCMP handles link failures entirely in the data plane: port liveness is
+tracked in real time, flow-cache entries pointing at a dead port are
+invalidated lazily when the next packet arrives, and the flow is re-hashed
+onto a healthy candidate — no control-plane batch update, microsecond-scale
+recovery.
+
+This demo sends a steady stream of flows from DC1 to DC8, kills the most
+attractive low-delay link (DC1 -> DC7) one third of the way through, brings
+it back two thirds of the way through, and reports:
+
+* where new flows were placed before, during and after the failure, and
+* that every flow completed (no blackholing) despite the failure.
+
+Run with::
+
+    python examples/failover_demo.py [num_flows]
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+
+from repro.congestion_control import make_cc_factory
+from repro.core import lcmp_router_factory
+from repro.simulator import FluidSimulation, RuntimeNetwork, SimulationConfig
+from repro.topology import build_testbed8, testbed8_pathset
+from repro.workloads import TrafficConfig, TrafficGenerator
+
+
+def main(num_flows: int = 600) -> None:
+    topology = build_testbed8(capacity_scale=0.1)
+    paths = testbed8_pathset(topology)
+    config = SimulationConfig(seed=11)
+    network = RuntimeNetwork(topology, paths, lcmp_router_factory(topology, paths), config)
+
+    traffic = TrafficConfig(
+        workload="websearch", load=0.3, num_flows=num_flows,
+        pairs=[("DC1", "DC8")], seed=11,
+    )
+    demands = TrafficGenerator(topology, paths, traffic).generate()
+    sim = FluidSimulation(network, demands, make_cc_factory("dcqcn"), config)
+
+    fail_at = demands[num_flows // 3].arrival_s
+    recover_at = demands[2 * num_flows // 3].arrival_s
+    sim.engine.schedule(fail_at, lambda: network.fail_link("DC1", "DC7"))
+    sim.engine.schedule(recover_at, lambda: network.recover_link("DC1", "DC7"))
+
+    print(
+        f"Sending {num_flows} flows DC1 -> DC8; DC1->DC7 fails at t={fail_at * 1e3:.1f} ms "
+        f"and recovers at t={recover_at * 1e3:.1f} ms ..."
+    )
+    result = sim.run()
+
+    def placement(start: float, end: float) -> Counter:
+        return Counter(
+            d.chosen.first_hop
+            for d in network.switch("DC1").decisions
+            if start <= d.time_s < end
+        )
+
+    phases = {
+        "before failure": placement(0.0, fail_at),
+        "while DC1->DC7 is down": placement(fail_at, recover_at),
+        "after recovery": placement(recover_at, float("inf")),
+    }
+    for phase, counts in phases.items():
+        total = sum(counts.values()) or 1
+        spread = ", ".join(
+            f"{hop}: {100 * n / total:.0f}%" for hop, n in sorted(counts.items())
+        )
+        print(f"  {phase:<24s} {spread}")
+
+    lcmp_router = network.switch("DC1").router
+    print(
+        f"\nFlows completed: {len(result.records)}/{num_flows} "
+        f"(unfinished: {result.unfinished_flows})"
+    )
+    print(
+        f"Lazy flow-cache invalidations on DC1: {lcmp_router.liveness.lazy_invalidations}, "
+        f"failover re-hashes: {lcmp_router.failover_rehashes}"
+    )
+    during = phases["while DC1->DC7 is down"]
+    assert "DC7" not in during, "no new flow may be placed on the dead port"
+    print("No flow was placed on the failed port while it was down — fast-failover works.")
+
+
+if __name__ == "__main__":
+    flows = int(sys.argv[1]) if len(sys.argv) > 1 else 600
+    main(flows)

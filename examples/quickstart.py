@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: compare LCMP against ECMP and UCMP on the 8-DC testbed.
+
+This is the smallest end-to-end use of the public API:
+
+1. build the paper's 8-DC evaluation topology,
+2. generate a WebSearch traffic matrix between DC1 and DC8 at 30 % load,
+3. run the fluid simulation once per routing algorithm (same traffic), and
+4. print the per-flow-size P50/P99 slowdown tables the paper plots.
+
+Run with::
+
+    python examples/quickstart.py [num_flows]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import reduction, reduction_report, slowdown_table
+from repro.experiments import ExperimentRunner, ExperimentSpec, TESTBED_ENDPOINT_PAIRS
+
+
+def main(num_flows: int = 800) -> None:
+    runner = ExperimentRunner()
+    base = ExperimentSpec(
+        name="quickstart",
+        topology="testbed8",
+        workload="websearch",
+        load=0.3,
+        cc="dcqcn",
+        num_flows=num_flows,
+        pairs=TESTBED_ENDPOINT_PAIRS,
+        seed=2024,
+    )
+
+    print(f"Running {num_flows} WebSearch flows between DC1 and DC8 at 30% load ...")
+    runs = runner.run_router_comparison(base, ["lcmp", "ecmp", "ucmp"])
+
+    profiles = [runs[name].profile for name in ("lcmp", "ecmp", "ucmp")]
+    print("\nMedian (P50) FCT slowdown by flow size")
+    print(slowdown_table(profiles, "p50"))
+    print("\nTail (P99) FCT slowdown by flow size")
+    print(slowdown_table(profiles, "p99"))
+
+    reductions = {
+        name: reduction(runs["lcmp"].profile, runs[name].profile)
+        for name in ("ecmp", "ucmp")
+    }
+    print("\nLCMP reduction vs baselines")
+    print(reduction_report(reductions))
+
+    lcmp_stats = runs["lcmp"].result
+    print(
+        f"\nLCMP run: {len(lcmp_stats.records)} flows completed, "
+        f"{lcmp_stats.routing_decisions} routing decisions, "
+        f"{lcmp_stats.monitor_samples} queue-monitor sweeps."
+    )
+
+
+if __name__ == "__main__":
+    flows = int(sys.argv[1]) if len(sys.argv) > 1 else 800
+    main(flows)

@@ -1,0 +1,5 @@
+"""Setup shim: metadata lives in pyproject.toml; this file exists so that
+editable installs work in fully offline environments (no build isolation)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""repro — a Python reproduction of LCMP (EuroSys 2026).
+
+LCMP is a distributed, long-haul, cost-aware multi-path routing framework for
+inter-datacenter RDMA networks.  This package reimplements the full system in
+Python: the LCMP switch pipeline (:mod:`repro.core`), the fluid flow-level
+network simulator it is evaluated on (:mod:`repro.simulator`), the evaluation
+topologies (:mod:`repro.topology`), RDMA congestion-control models
+(:mod:`repro.congestion_control`), baseline routing schemes
+(:mod:`repro.routing`), workload generators (:mod:`repro.workloads`),
+analysis tools (:mod:`repro.analysis`) and the per-figure experiment harness
+(:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.experiments import ExperimentRunner, ExperimentSpec
+
+    runner = ExperimentRunner()
+    run = runner.run(ExperimentSpec(name="demo", router="lcmp", num_flows=500))
+    print(run.profile.overall_p50, run.profile.overall_p99)
+"""
+
+from . import analysis, congestion_control, core, experiments, routing, simulator, topology, workloads
+from .core import LCMPConfig, LCMPRouter
+from .experiments import ExperimentRunner, ExperimentSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "congestion_control",
+    "core",
+    "experiments",
+    "routing",
+    "simulator",
+    "topology",
+    "workloads",
+    "LCMPConfig",
+    "LCMPRouter",
+    "ExperimentRunner",
+    "ExperimentSpec",
+    "__version__",
+]

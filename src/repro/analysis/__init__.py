@@ -1,0 +1,31 @@
+"""Analysis of simulation results: FCT slowdown, utilisation, fidelity, reports."""
+
+from .fct_analysis import (
+    DEFAULT_SIZE_BINS,
+    BinStats,
+    SlowdownProfile,
+    compare,
+    reduction,
+)
+from .fidelity import FidelityResult, fidelity_study, pearson
+from .report import format_table, reduction_report, slowdown_table, utilization_report
+from .utilization import LinkUtilization, imbalance, jain_fairness, utilization_table
+
+__all__ = [
+    "DEFAULT_SIZE_BINS",
+    "BinStats",
+    "SlowdownProfile",
+    "compare",
+    "reduction",
+    "FidelityResult",
+    "fidelity_study",
+    "pearson",
+    "format_table",
+    "reduction_report",
+    "slowdown_table",
+    "utilization_report",
+    "LinkUtilization",
+    "imbalance",
+    "jain_fairness",
+    "utilization_table",
+]

@@ -1,0 +1,68 @@
+"""Simulator-fidelity analysis (paper Fig. 6).
+
+The paper validates NS-3 against its SoftRoCE/Mininet testbed by plotting the
+per-size-bin FCT slowdown measured on each platform against the other and
+reporting Pearson correlations of 95 % (P50) and 97 % (P99).  We reproduce the
+study by running the same workload through two simulator profiles — a clean
+"simulator" profile and a noisier "testbed" profile (measurement noise on
+recorded FCTs) — and correlating the binned slowdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .fct_analysis import SlowdownProfile
+
+__all__ = ["FidelityResult", "pearson", "fidelity_study"]
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length series."""
+    if len(xs) != len(ys):
+        raise ValueError("series must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to correlate")
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.std() == 0 or y.std() == 0:
+        return 1.0 if np.allclose(x - x.mean(), y - y.mean()) else 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+@dataclass(frozen=True)
+class FidelityResult:
+    """Correlation of per-bin slowdowns between two platforms."""
+
+    p50_correlation: float
+    p99_correlation: float
+    pairs_p50: List[Tuple[float, float]]
+    pairs_p99: List[Tuple[float, float]]
+
+
+def fidelity_study(
+    testbed_profile: SlowdownProfile, simulator_profile: SlowdownProfile
+) -> FidelityResult:
+    """Correlate the binned slowdowns of the two platform profiles.
+
+    Only bins present in both profiles are compared (the bin structure is
+    identical when both runs used the same workload, which the experiment
+    harness guarantees).
+    """
+    testbed_bins = {b.label: b for b in testbed_profile.bins}
+    simulator_bins = {b.label: b for b in simulator_profile.bins}
+    shared = [label for label in testbed_bins if label in simulator_bins]
+    if len(shared) < 2:
+        raise ValueError("profiles share fewer than two size bins")
+
+    pairs_p50 = [(testbed_bins[l].p50, simulator_bins[l].p50) for l in shared]
+    pairs_p99 = [(testbed_bins[l].p99, simulator_bins[l].p99) for l in shared]
+    return FidelityResult(
+        p50_correlation=pearson([p[0] for p in pairs_p50], [p[1] for p in pairs_p50]),
+        p99_correlation=pearson([p[0] for p in pairs_p99], [p[1] for p in pairs_p99]),
+        pairs_p50=pairs_p50,
+        pairs_p99=pairs_p99,
+    )

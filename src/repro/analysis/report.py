@@ -1,0 +1,86 @@
+"""Plain-text rendering of analysis results.
+
+The benchmark harness prints the same rows/series the paper's figures show;
+these helpers format them as aligned text tables so benchmark output and the
+EXPERIMENTS.md records stay readable without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .fct_analysis import SlowdownProfile
+from .utilization import LinkUtilization
+
+__all__ = ["format_table", "slowdown_table", "utilization_report", "reduction_report"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def slowdown_table(profiles: Sequence[SlowdownProfile], percentile: str = "p50") -> str:
+    """Per-size-bin slowdown table, one column per algorithm (a paper curve)."""
+    if not profiles:
+        return "(no profiles)"
+    labels: List[str] = []
+    for profile in profiles:
+        for label in profile.bin_labels():
+            if label not in labels:
+                labels.append(label)
+    headers = ["flow size"] + [p.name for p in profiles]
+    rows = []
+    for label in labels:
+        row: List[object] = [label]
+        for profile in profiles:
+            match = next((b for b in profile.bins if b.label == label), None)
+            row.append(f"{getattr(match, percentile):.2f}" if match else "-")
+        rows.append(row)
+    overall: List[object] = ["overall"]
+    for profile in profiles:
+        overall.append(f"{getattr(profile, f'overall_{percentile}'):.2f}")
+    rows.append(overall)
+    return format_table(headers, rows)
+
+
+def utilization_report(rows_by_algorithm: Mapping[str, Sequence[LinkUtilization]]) -> str:
+    """Fig. 1b-style table: per-link utilisation, one column per algorithm."""
+    algorithms = list(rows_by_algorithm)
+    if not algorithms:
+        return "(no data)"
+    labels: List[str] = []
+    for rows in rows_by_algorithm.values():
+        for row in rows:
+            if row.label not in labels:
+                labels.append(row.label)
+    headers = ["link"] + algorithms
+    table_rows = []
+    for label in labels:
+        row: List[object] = [label]
+        for algorithm in algorithms:
+            match = next((r for r in rows_by_algorithm[algorithm] if r.label == label), None)
+            row.append(f"{match.utilization * 100:.1f}%" if match else "-")
+        table_rows.append(row)
+    return format_table(headers, table_rows)
+
+
+def reduction_report(reductions: Mapping[str, Mapping[str, float]]) -> str:
+    """Render the "LCMP reduces X by Y % vs Z" summary lines."""
+    headers = ["baseline", "median reduction", "p99 reduction"]
+    rows = [
+        [name, f"{vals['p50'] * 100:.0f}%", f"{vals['p99'] * 100:.0f}%"]
+        for name, vals in reductions.items()
+    ]
+    return format_table(headers, rows)

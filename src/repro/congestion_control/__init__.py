@@ -1,0 +1,28 @@
+"""RDMA congestion-control models (DCQCN, HPCC, TIMELY, DCTCP).
+
+LCMP is orthogonal to end-host congestion control; these rate-based models
+let the evaluation exercise every CC the paper tests underneath every
+routing algorithm.  Use :func:`make_cc_factory` to obtain the per-flow
+factory the simulator expects.
+"""
+
+from .base import CCFactory, CongestionControl, available_ccs, make_cc_factory, register_cc
+from .dcqcn import DCQCN
+from .dctcp import DCTCP
+from .hpcc import HPCC
+from .ideal import FixedRate, IdealCC
+from .timely import Timely
+
+__all__ = [
+    "CongestionControl",
+    "CCFactory",
+    "available_ccs",
+    "make_cc_factory",
+    "register_cc",
+    "DCQCN",
+    "HPCC",
+    "Timely",
+    "DCTCP",
+    "FixedRate",
+    "IdealCC",
+]

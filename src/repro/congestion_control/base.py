@@ -1,0 +1,109 @@
+"""Congestion-control interface.
+
+LCMP is a routing scheme and is explicitly orthogonal to end-host congestion
+control (paper §5, §6.3.2); the evaluation exercises DCQCN, HPCC, TIMELY and
+DCTCP underneath every routing algorithm.  Each controller here is a
+rate-based model of the corresponding algorithm: it exposes a sending rate,
+reacts to the delayed :class:`~repro.simulator.flow.FeedbackSignal` the fluid
+simulation delivers one path-RTT after congestion occurred, and performs its
+periodic rate-recovery behaviour in :meth:`CongestionControl.on_interval`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, Optional, Type
+
+from ..simulator.flow import FeedbackSignal
+
+__all__ = ["CongestionControl", "CCFactory", "register_cc", "make_cc_factory", "available_ccs"]
+
+
+class CongestionControl(abc.ABC):
+    """Base class for rate-based congestion-control models.
+
+    Subclasses must set :attr:`name` and implement :meth:`on_feedback` and
+    :meth:`on_interval`; they adjust :attr:`rate_bps` in place.
+    """
+
+    #: registry name, e.g. ``"dcqcn"``
+    name: str = "base"
+
+    def __init__(self, line_rate_bps: float, base_rtt_s: float, min_rate_bps: float = 1e6):
+        """Create a controller.
+
+        Args:
+            line_rate_bps: the sender's line rate (initial sending rate).
+            base_rtt_s: propagation-only RTT of the flow's path.
+            min_rate_bps: floor below which the rate never drops.
+        """
+        if line_rate_bps <= 0:
+            raise ValueError("line rate must be positive")
+        if base_rtt_s < 0:
+            raise ValueError("base RTT must be non-negative")
+        self.line_rate_bps = float(line_rate_bps)
+        self.base_rtt_s = float(base_rtt_s)
+        self.min_rate_bps = float(min_rate_bps)
+        self.rate_bps = float(line_rate_bps)
+        #: count of feedback signals processed (useful in tests)
+        self.feedback_count = 0
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def on_feedback(self, signal: FeedbackSignal, now: float) -> None:
+        """React to one delayed congestion-feedback signal."""
+
+    @abc.abstractmethod
+    def on_interval(self, dt: float, now: float) -> None:
+        """Periodic behaviour (rate recovery / increase), every update step."""
+
+    # ------------------------------------------------------------------ #
+    def _clamp(self) -> None:
+        """Keep the rate within [min_rate, line_rate]."""
+        self.rate_bps = min(self.line_rate_bps, max(self.min_rate_bps, self.rate_bps))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(rate={self.rate_bps / 1e9:.2f} Gbps)"
+
+
+#: a congestion-control factory: (line_rate_bps, base_rtt_s) -> controller
+CCFactory = Callable[[float, float], CongestionControl]
+
+_REGISTRY: Dict[str, Type[CongestionControl]] = {}
+
+
+def register_cc(cls: Type[CongestionControl]) -> Type[CongestionControl]:
+    """Class decorator registering a congestion-control implementation."""
+    if not cls.name or cls.name == "base":
+        raise ValueError("congestion control classes must define a unique name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_ccs() -> list:
+    """Names of all registered congestion-control algorithms."""
+    return sorted(_REGISTRY)
+
+
+def make_cc_factory(name: str, **params) -> CCFactory:
+    """Build a factory for the named congestion control.
+
+    Args:
+        name: registry name (``"dcqcn"``, ``"hpcc"``, ``"timely"``,
+            ``"dctcp"``, ``"ideal"``).
+        **params: extra keyword arguments forwarded to the constructor.
+
+    Raises:
+        KeyError: for unknown names.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown congestion control {name!r}; available: {available_ccs()}"
+        ) from None
+
+    def factory(line_rate_bps: float, base_rtt_s: float) -> CongestionControl:
+        return cls(line_rate_bps, base_rtt_s, **params)
+
+    return factory

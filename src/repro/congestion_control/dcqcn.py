@@ -1,0 +1,110 @@
+"""DCQCN congestion-control model (Zhu et al., SIGCOMM 2015).
+
+DCQCN is the default RDMA congestion control in the paper's evaluation.  The
+switch ECN-marks packets with a RED profile; the receiver reflects marks as
+CNPs; the sender keeps an EWMA ``alpha`` of the marking level, cuts its rate
+multiplicatively when CNPs arrive and recovers through fast-recovery /
+additive-increase / hyper-increase stages.
+
+This model keeps the rate-based core of the algorithm (alpha EWMA, cut by
+``alpha/2``, staged recovery toward a target rate) and drives it from the
+fluid simulation's delayed ECN-fraction feedback.
+"""
+
+from __future__ import annotations
+
+from ..simulator.flow import FeedbackSignal
+from .base import CongestionControl, register_cc
+
+__all__ = ["DCQCN"]
+
+
+@register_cc
+class DCQCN(CongestionControl):
+    """Rate-based DCQCN model."""
+
+    name = "dcqcn"
+
+    def __init__(
+        self,
+        line_rate_bps: float,
+        base_rtt_s: float,
+        min_rate_bps: float = 1e6,
+        g: float = 1 / 16,
+        rate_ai_bps: float = 200e6,
+        rate_hai_bps: float = 1e9,
+        alpha_resume_interval_s: float = 55e-6,
+        increase_timer_s: float = 0.3e-3,
+        ecn_threshold: float = 0.01,
+    ) -> None:
+        """Create a DCQCN instance.
+
+        Args:
+            g: alpha EWMA gain.
+            rate_ai_bps: additive-increase step.
+            rate_hai_bps: hyper-increase step.
+            alpha_resume_interval_s: cadence of alpha decay without CNPs.
+            increase_timer_s: cadence of rate-increase events.
+            ecn_threshold: ECN fraction above which feedback counts as a CNP.
+        """
+        super().__init__(line_rate_bps, base_rtt_s, min_rate_bps)
+        self.g = g
+        self.rate_ai_bps = rate_ai_bps
+        self.rate_hai_bps = rate_hai_bps
+        self.alpha_resume_interval_s = alpha_resume_interval_s
+        self.increase_timer_s = increase_timer_s
+        self.ecn_threshold = ecn_threshold
+
+        self.alpha = 1.0
+        self.target_rate_bps = float(line_rate_bps)
+        self._time_since_increase = 0.0
+        self._time_since_alpha_update = 0.0
+        self._increase_stage = 0
+        self._congested_recently = False
+
+    # ------------------------------------------------------------------ #
+    def on_feedback(self, signal: FeedbackSignal, now: float) -> None:
+        """Process one (delayed) feedback sample as a CNP indication."""
+        self.feedback_count += 1
+        congested = signal.ecn_fraction > self.ecn_threshold
+        if congested:
+            # alpha rises toward the observed marking level, rate is cut
+            self.alpha = (1 - self.g) * self.alpha + self.g * min(1.0, signal.ecn_fraction * 4)
+            self.target_rate_bps = self.rate_bps
+            self.rate_bps *= 1 - self.alpha / 2.0
+            self._increase_stage = 0
+            self._congested_recently = True
+            self._clamp()
+        else:
+            self._congested_recently = False
+
+    def on_interval(self, dt: float, now: float) -> None:
+        """Alpha decay and staged rate recovery."""
+        self._time_since_alpha_update += dt
+        while self._time_since_alpha_update >= self.alpha_resume_interval_s:
+            self._time_since_alpha_update -= self.alpha_resume_interval_s
+            self.alpha *= 1 - self.g
+
+        self._time_since_increase += dt
+        while self._time_since_increase >= self.increase_timer_s:
+            self._time_since_increase -= self.increase_timer_s
+            self._increase_once()
+
+    # ------------------------------------------------------------------ #
+    def _increase_once(self) -> None:
+        """One recovery step: fast recovery, then AI, then hyper increase."""
+        if self._increase_stage < 5:
+            # fast recovery: move halfway back to the target rate
+            self.rate_bps = (self.rate_bps + self.target_rate_bps) / 2.0
+        elif self._increase_stage < 10:
+            self.target_rate_bps = min(
+                self.line_rate_bps, self.target_rate_bps + self.rate_ai_bps
+            )
+            self.rate_bps = (self.rate_bps + self.target_rate_bps) / 2.0
+        else:
+            self.target_rate_bps = min(
+                self.line_rate_bps, self.target_rate_bps + self.rate_hai_bps
+            )
+            self.rate_bps = (self.rate_bps + self.target_rate_bps) / 2.0
+        self._increase_stage += 1
+        self._clamp()

@@ -1,0 +1,73 @@
+"""DCTCP congestion-control model (Alizadeh et al., SIGCOMM 2010).
+
+DCTCP keeps an EWMA ``alpha`` of the fraction of ECN-marked packets per RTT
+and reduces its window by ``alpha / 2`` once per RTT when marks were seen,
+otherwise it grows by one segment per RTT.  We express the window behaviour
+directly on the sending rate (rate = window / RTT), which is equivalent in
+the fluid model.
+"""
+
+from __future__ import annotations
+
+from ..simulator.flow import FeedbackSignal
+from .base import CongestionControl, register_cc
+
+__all__ = ["DCTCP"]
+
+
+@register_cc
+class DCTCP(CongestionControl):
+    """Rate-based DCTCP model driven by the delayed ECN fraction."""
+
+    name = "dctcp"
+
+    def __init__(
+        self,
+        line_rate_bps: float,
+        base_rtt_s: float,
+        min_rate_bps: float = 1e6,
+        g: float = 1 / 16,
+        mss_bytes: int = 1500,
+    ) -> None:
+        """Create a DCTCP instance.
+
+        Args:
+            g: alpha EWMA gain.
+            mss_bytes: segment size used for the per-RTT additive increase.
+        """
+        super().__init__(line_rate_bps, base_rtt_s, min_rate_bps)
+        self.g = g
+        self.mss_bytes = mss_bytes
+        self.alpha = 0.0
+        self._ecn_accumulator = 0.0
+        self._ecn_samples = 0
+        self._time_since_window_update = 0.0
+
+    # ------------------------------------------------------------------ #
+    def on_feedback(self, signal: FeedbackSignal, now: float) -> None:
+        """Accumulate the marked fraction; the window updates once per RTT."""
+        self.feedback_count += 1
+        self._ecn_accumulator += signal.ecn_fraction
+        self._ecn_samples += 1
+
+    def on_interval(self, dt: float, now: float) -> None:
+        """Once per RTT: update alpha and apply the window change."""
+        self._time_since_window_update += dt
+        rtt = max(self.base_rtt_s, 1e-6)
+        if self._time_since_window_update < rtt:
+            return
+        self._time_since_window_update = 0.0
+
+        marked_fraction = (
+            self._ecn_accumulator / self._ecn_samples if self._ecn_samples else 0.0
+        )
+        self._ecn_accumulator = 0.0
+        self._ecn_samples = 0
+
+        self.alpha = (1 - self.g) * self.alpha + self.g * marked_fraction
+        if marked_fraction > 0:
+            self.rate_bps *= 1 - self.alpha / 2.0
+        else:
+            # one segment per RTT, expressed as a rate increment
+            self.rate_bps += self.mss_bytes * 8.0 / rtt
+        self._clamp()

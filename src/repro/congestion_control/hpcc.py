@@ -1,0 +1,68 @@
+"""HPCC congestion-control model (Li et al., SIGCOMM 2019).
+
+HPCC uses in-band network telemetry: every ACK carries the precise
+utilisation of each hop, and the sender adjusts its window so the bottleneck
+stays just below a target utilisation ``eta`` (0.95 in the paper).  The fluid
+simulation summarises the per-hop telemetry as the maximum utilisation along
+the path, which is exactly the quantity HPCC's window update reacts to.
+"""
+
+from __future__ import annotations
+
+from ..simulator.flow import FeedbackSignal
+from .base import CongestionControl, register_cc
+
+__all__ = ["HPCC"]
+
+
+@register_cc
+class HPCC(CongestionControl):
+    """Rate-based HPCC model driven by max-hop utilisation telemetry."""
+
+    name = "hpcc"
+
+    def __init__(
+        self,
+        line_rate_bps: float,
+        base_rtt_s: float,
+        min_rate_bps: float = 1e6,
+        eta: float = 0.95,
+        max_stage: int = 5,
+        wai_fraction: float = 0.01,
+    ) -> None:
+        """Create an HPCC instance.
+
+        Args:
+            eta: target bottleneck utilisation.
+            max_stage: additive-increase stages before a fresh multiplicative
+                adjustment is allowed (mirrors HPCC's ``maxStage``).
+            wai_fraction: additive-increase step as a fraction of line rate.
+        """
+        super().__init__(line_rate_bps, base_rtt_s, min_rate_bps)
+        self.eta = eta
+        self.max_stage = max_stage
+        self.wai_bps = wai_fraction * line_rate_bps
+        self._stage = 0
+        self._reference_rate_bps = float(line_rate_bps)
+
+    # ------------------------------------------------------------------ #
+    def on_feedback(self, signal: FeedbackSignal, now: float) -> None:
+        """Window update from the max-hop utilisation sample."""
+        self.feedback_count += 1
+        utilization = max(signal.max_utilization, 1e-6)
+        if utilization > self.eta or self._stage >= self.max_stage:
+            # multiplicative adjustment toward eta, plus a small AI term
+            self._reference_rate_bps = (
+                self._reference_rate_bps * (self.eta / utilization) + self.wai_bps
+            )
+            self._stage = 0
+        else:
+            # additive increase while comfortably below target
+            self._reference_rate_bps = self._reference_rate_bps + self.wai_bps
+            self._stage += 1
+        self.rate_bps = self._reference_rate_bps
+        self._clamp()
+        self._reference_rate_bps = self.rate_bps
+
+    def on_interval(self, dt: float, now: float) -> None:
+        """HPCC is purely ACK-clocked; nothing to do between feedback."""

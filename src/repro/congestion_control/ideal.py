@@ -1,0 +1,61 @@
+"""Idealised congestion-control stand-ins.
+
+Useful for tests and ablations: :class:`FixedRate` always sends at a constant
+rate (isolating routing effects from CC dynamics) and :class:`IdealCC`
+instantly matches the bottleneck's fair share using un-delayed feedback
+(an upper bound no real long-haul CC can reach).
+"""
+
+from __future__ import annotations
+
+from ..simulator.flow import FeedbackSignal
+from .base import CongestionControl, register_cc
+
+__all__ = ["FixedRate", "IdealCC"]
+
+
+@register_cc
+class FixedRate(CongestionControl):
+    """Sends at the line rate forever; never reacts to congestion."""
+
+    name = "fixed"
+
+    def on_feedback(self, signal: FeedbackSignal, now: float) -> None:
+        """Ignore feedback."""
+        self.feedback_count += 1
+
+    def on_interval(self, dt: float, now: float) -> None:
+        """Nothing to do."""
+
+
+@register_cc
+class IdealCC(CongestionControl):
+    """Adjusts instantly toward the utilisation target on every feedback.
+
+    Not a real protocol — it ignores the fact that its feedback is an RTT
+    old — but useful as a best-case reference in sensitivity tests.
+    """
+
+    name = "ideal"
+
+    def __init__(
+        self,
+        line_rate_bps: float,
+        base_rtt_s: float,
+        min_rate_bps: float = 1e6,
+        target_utilization: float = 0.95,
+    ) -> None:
+        super().__init__(line_rate_bps, base_rtt_s, min_rate_bps)
+        self.target_utilization = target_utilization
+
+    def on_feedback(self, signal: FeedbackSignal, now: float) -> None:
+        """Scale the rate so the bottleneck sits at the target utilisation."""
+        self.feedback_count += 1
+        utilization = max(signal.max_utilization, 1e-6)
+        self.rate_bps *= self.target_utilization / utilization
+        self._clamp()
+
+    def on_interval(self, dt: float, now: float) -> None:
+        """Gentle probing upward so the flow reclaims freed capacity."""
+        self.rate_bps *= 1.001
+        self._clamp()

@@ -1,0 +1,84 @@
+"""TIMELY congestion-control model (Mittal et al., SIGCOMM 2015).
+
+TIMELY adjusts the sending rate from RTT measurements: below ``t_low`` it
+increases additively, above ``t_high`` it decreases multiplicatively, and in
+between it follows the RTT gradient.  The fluid simulation's RTT sample
+(base RTT + total queueing delay along the path, delivered one RTT late) is
+the input signal.
+"""
+
+from __future__ import annotations
+
+from ..simulator.flow import FeedbackSignal
+from .base import CongestionControl, register_cc
+
+__all__ = ["Timely"]
+
+
+@register_cc
+class Timely(CongestionControl):
+    """Rate-based TIMELY model driven by delayed RTT samples."""
+
+    name = "timely"
+
+    def __init__(
+        self,
+        line_rate_bps: float,
+        base_rtt_s: float,
+        min_rate_bps: float = 1e6,
+        ewma_alpha: float = 0.875,
+        addstep_fraction: float = 0.02,
+        beta: float = 0.8,
+        t_low_extra_s: float = 50e-6,
+        t_high_extra_s: float = 2e-3,
+    ) -> None:
+        """Create a TIMELY instance.
+
+        Args:
+            ewma_alpha: weight of the previous RTT-difference EWMA.
+            addstep_fraction: additive-increase step as fraction of line rate.
+            beta: multiplicative-decrease aggressiveness.
+            t_low_extra_s: queueing delay below which we always increase.
+            t_high_extra_s: queueing delay above which we always decrease.
+        """
+        super().__init__(line_rate_bps, base_rtt_s, min_rate_bps)
+        self.ewma_alpha = ewma_alpha
+        self.addstep_bps = addstep_fraction * line_rate_bps
+        self.beta = beta
+        self.t_low_s = base_rtt_s + t_low_extra_s
+        self.t_high_s = base_rtt_s + t_high_extra_s
+        self._prev_rtt_s = base_rtt_s
+        self._rtt_diff_s = 0.0
+        self._hai_counter = 0
+
+    # ------------------------------------------------------------------ #
+    def on_feedback(self, signal: FeedbackSignal, now: float) -> None:
+        """Gradient-based rate update from one RTT sample."""
+        self.feedback_count += 1
+        rtt = signal.rtt_s
+        new_diff = rtt - self._prev_rtt_s
+        self._prev_rtt_s = rtt
+        self._rtt_diff_s = (
+            self.ewma_alpha * self._rtt_diff_s + (1 - self.ewma_alpha) * new_diff
+        )
+        min_rtt = max(self.base_rtt_s, 1e-6)
+        gradient = self._rtt_diff_s / min_rtt
+
+        if rtt < self.t_low_s:
+            self._hai_counter += 1
+            step = self.addstep_bps * (5 if self._hai_counter >= 5 else 1)
+            self.rate_bps += step
+        elif rtt > self.t_high_s:
+            self._hai_counter = 0
+            self.rate_bps *= 1 - self.beta * (1 - self.t_high_s / rtt)
+        elif gradient <= 0:
+            self._hai_counter += 1
+            step = self.addstep_bps * (5 if self._hai_counter >= 5 else 1)
+            self.rate_bps += step
+        else:
+            self._hai_counter = 0
+            self.rate_bps *= 1 - self.beta * min(1.0, gradient)
+        self._clamp()
+
+    def on_interval(self, dt: float, now: float) -> None:
+        """TIMELY is ACK-clocked; nothing to do between feedback."""

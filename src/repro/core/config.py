@@ -1,0 +1,131 @@
+"""LCMP configuration: every integer weight, shift and threshold in one place.
+
+The paper's sensitivity study (§7) sweeps the global fusion weights
+``(alpha, beta)``, the path-quality weights ``(w_dl, w_lc)`` and the
+congestion weights ``(w_ql, w_tl, w_dp)``; the recommended production
+defaults are ``alpha:beta = 3:1``, ``w_dl:w_lc = 3:1`` and
+``w_ql:w_tl:w_dp = 2:1:1``.  Those defaults are encoded here, and the
+experiment harness builds ablations (``rm-alpha``, ``rm-beta``) and sweeps by
+overriding individual fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["LCMPConfig"]
+
+
+@dataclass(frozen=True)
+class LCMPConfig:
+    """All LCMP tunables (integer-friendly, as installed on the switch).
+
+    Attributes:
+        alpha: weight of the path-quality term in the fused cost (Eq. 1).
+        beta: weight of the congestion term in the fused cost (Eq. 1).
+        w_dl: weight of the delay score inside C_path (Eq. 2).
+        w_lc: weight of the link-capacity score inside C_path (Eq. 2).
+        path_shift: right-shift normalising the weighted path score back to
+            the 0–255 range (S_path in Eq. 2).
+        w_ql: weight of the instantaneous queue level inside C_cong (Eq. 4).
+        w_tl: weight of the short-term trend level inside C_cong (Eq. 4).
+        w_dp: weight of the duration penalty inside C_cong (Eq. 4).
+        cong_shift: right-shift normalising the weighted congestion score
+            (S_cong in Eq. 5).
+        max_delay_ms: saturation point of the delay mapping (Alg. 1).  Must
+            be a power of two so the division is a right shift.  The paper's
+            example is 32 ms; inter-DC deployments with sub-second one-way
+            delays configure 512 ms (our experiment default).
+        trend_ewma_shift: K in the shift-based EWMA of the queue trend
+            (Eq. 3).
+        num_levels: number of quantisation levels in the bootstrap tables.
+        high_water_level: queue level at or above which the duration counter
+            accumulates.
+        duration_decay: how much the duration counter decays per sample when
+            the queue is below the high-water mark.
+        duration_shift: right shift converting the duration counter into a
+            penalty score.
+        keep_fraction: fraction of the (cost-sorted) candidate list retained
+            before the diversity-preserving hash (0.5 in the paper).
+        congested_threshold: C_cong value at or above which a candidate
+            counts as "highly congested"; when every candidate crosses it the
+            selection falls back to the minimum-cost path.
+        flow_cache_capacity: bounded size of the per-switch flow cache.
+        flow_idle_timeout_s: idle timeout used by flow-cache garbage
+            collection.
+        hash_salt: salt of the diversity-preserving hash.
+    """
+
+    # Eq. 1 — global fusion
+    alpha: int = 3
+    beta: int = 1
+    # Eq. 2 — path quality
+    w_dl: int = 3
+    w_lc: int = 1
+    path_shift: int = 2
+    # Eq. 4/5 — congestion
+    w_ql: int = 2
+    w_tl: int = 1
+    w_dp: int = 1
+    cong_shift: int = 2
+    # Alg. 1 — delay mapping
+    max_delay_ms: int = 512
+    # Eq. 3 — trend EWMA
+    trend_ewma_shift: int = 3
+    # bootstrap tables
+    num_levels: int = 10
+    # duration penalty
+    high_water_level: int = 7
+    duration_decay: int = 2
+    duration_shift: int = 2
+    # selection
+    keep_fraction: float = 0.5
+    congested_threshold: int = 200
+    # flow cache
+    flow_cache_capacity: int = 50_000
+    flow_idle_timeout_s: float = 1.0
+    hash_salt: int = 0x9E3779B1
+
+    # ------------------------------------------------------------------ #
+    def with_overrides(self, **kwargs) -> "LCMPConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def validate(self) -> None:
+        """Check integer ranges and power-of-two constraints.
+
+        Raises:
+            ValueError: when a weight is negative, ``max_delay_ms`` is not a
+                power of two, or ``keep_fraction`` is out of range.
+        """
+        for field_name in ("alpha", "beta", "w_dl", "w_lc", "w_ql", "w_tl", "w_dp"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+        if self.alpha == 0 and self.beta == 0:
+            raise ValueError("alpha and beta cannot both be zero")
+        if self.max_delay_ms <= 0 or self.max_delay_ms & (self.max_delay_ms - 1):
+            raise ValueError("max_delay_ms must be a positive power of two")
+        if not 0 < self.keep_fraction <= 1:
+            raise ValueError("keep_fraction must be in (0, 1]")
+        if self.num_levels < 2:
+            raise ValueError("num_levels must be at least 2")
+        if not 0 <= self.high_water_level < self.num_levels:
+            raise ValueError("high_water_level must be a valid level index")
+        if self.flow_cache_capacity <= 0:
+            raise ValueError("flow_cache_capacity must be positive")
+        if self.flow_idle_timeout_s <= 0:
+            raise ValueError("flow_idle_timeout_s must be positive")
+
+    @property
+    def delay_shift(self) -> int:
+        """Right shift equivalent to dividing by ``max_delay_ms`` (Alg. 1)."""
+        return self.max_delay_ms.bit_length() - 1
+
+    # convenience constructors for the ablations of §7.1
+    def ablate_path_quality(self) -> "LCMPConfig":
+        """The ``rm-alpha`` variant: path-quality term removed."""
+        return self.with_overrides(alpha=0, beta=max(self.beta, 1))
+
+    def ablate_congestion(self) -> "LCMPConfig":
+        """The ``rm-beta`` variant: congestion term removed."""
+        return self.with_overrides(beta=0, alpha=max(self.alpha, 1))

@@ -1,0 +1,81 @@
+"""Fused per-path cost C(p) = alpha * C_path + beta * C_cong (paper Eq. 1).
+
+The fusion is the heart of LCMP: the slowly varying control-plane view of a
+path (propagation delay + provisioned capacity) and the switch's own timely
+congestion estimate are combined with small integer weights into a single
+comparable cost.  The ablation study (§7.1) shows both terms are necessary —
+``alpha = 0`` places flows on high-delay routes, ``beta = 0`` cannot prevent
+contention among long-lived elephants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..topology.paths import CandidatePath
+from .config import LCMPConfig
+
+__all__ = ["PathCost", "fuse_cost", "score_candidates"]
+
+
+@dataclass(frozen=True)
+class PathCost:
+    """The fused cost of one candidate path and its components."""
+
+    candidate: CandidatePath
+    path_quality: int
+    congestion: int
+    fused: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{'->'.join(self.candidate.dcs)}: C={self.fused} "
+            f"(Cpath={self.path_quality}, Ccong={self.congestion})"
+        )
+
+
+def fuse_cost(path_quality: int, congestion: int, config: LCMPConfig) -> int:
+    """Equation 1: integer-weighted sum of the two cost terms.
+
+    The result is *not* re-normalised to 0–255 — it is only ever compared
+    against other fused costs computed with the same weights, so keeping the
+    full integer range preserves resolution.
+    """
+    if not 0 <= path_quality <= 255:
+        raise ValueError("path_quality must be in [0, 255]")
+    if not 0 <= congestion <= 255:
+        raise ValueError("congestion must be in [0, 255]")
+    return config.alpha * path_quality + config.beta * congestion
+
+
+def score_candidates(
+    candidates: Sequence[CandidatePath],
+    path_quality_scores: Sequence[int],
+    congestion_scores: Sequence[int],
+    config: LCMPConfig,
+) -> List[PathCost]:
+    """Fuse the per-candidate scores into a list of :class:`PathCost`.
+
+    Args:
+        candidates: the candidate routes.
+        path_quality_scores: C_path per candidate (same order).
+        congestion_scores: C_cong per candidate (same order).
+        config: the weight configuration.
+
+    Raises:
+        ValueError: when the three sequences disagree in length.
+    """
+    if not (len(candidates) == len(path_quality_scores) == len(congestion_scores)):
+        raise ValueError("candidates and score lists must have equal length")
+    costs = []
+    for candidate, c_path, c_cong in zip(candidates, path_quality_scores, congestion_scores):
+        costs.append(
+            PathCost(
+                candidate=candidate,
+                path_quality=c_path,
+                congestion=c_cong,
+                fused=fuse_cost(c_path, c_cong, config),
+            )
+        )
+    return costs

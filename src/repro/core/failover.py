@@ -1,0 +1,55 @@
+"""Data-plane fast-failover (paper §3.4, "Fault tolerance").
+
+LCMP handles link/port failures entirely in the data plane: the switch
+tracks port liveness in real time, and when a packet matches a flow-cache
+entry that points at a failed port the entry is invalidated *lazily* — the
+packet is treated as the first packet of a new flow and re-hashed onto a
+healthy candidate.  There is no control-plane batch update of thousands of
+entries; invalid entries are overwritten one by one as their packets arrive,
+giving microsecond-scale recovery with zero instantaneous control-plane
+overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+__all__ = ["PortLivenessTracker"]
+
+
+@dataclass
+class PortLivenessTracker:
+    """Tracks egress-port liveness and failover statistics."""
+
+    _down: Set[str] = field(default_factory=set)
+    #: number of flow-cache entries lazily invalidated because their port died
+    lazy_invalidations: int = 0
+
+    def mark_down(self, port: str) -> None:
+        """Record that ``port`` failed."""
+        self._down.add(port)
+
+    def mark_up(self, port: str) -> None:
+        """Record that ``port`` recovered."""
+        self._down.discard(port)
+
+    def is_up(self, port: str) -> bool:
+        """Liveness of ``port`` (unknown ports are considered up)."""
+        return port not in self._down
+
+    def observe(self, port: str, up: bool) -> None:
+        """Update liveness from a monitor sample."""
+        if up:
+            self.mark_up(port)
+        else:
+            self.mark_down(port)
+
+    def record_lazy_invalidation(self) -> None:
+        """Count one lazy flow-cache invalidation caused by a dead port."""
+        self.lazy_invalidations += 1
+
+    @property
+    def down_ports(self) -> Set[str]:
+        """Snapshot of the currently failed ports."""
+        return set(self._down)

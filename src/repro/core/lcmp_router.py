@@ -1,0 +1,191 @@
+"""The LCMP data-plane router: the full per-flow decision pipeline (paper §3).
+
+For the first packet of a new flow the switch
+
+1. refreshes the congestion state of every candidate egress port (done
+   continuously by the queue monitor feeding :class:`CongestionEstimator`),
+2. looks up the precomputed path-quality score C_path of each candidate (or,
+   when the control plane has not installed it, derives it on demand from
+   the candidate's static attributes — the paper's on-demand table creation),
+3. fuses the two into the weighted cost C(p) = alpha*C_path + beta*C_cong,
+4. filters the high-cost suffix and performs a diversity-preserving hash
+   inside the reduced set, and
+5. records the chosen egress in the bounded flow cache so subsequent packets
+   follow the same path (per-flow stickiness; garbage-collected when idle).
+
+Port failures are handled lazily: a cached entry pointing at a dead port is
+invalidated on the fly and the flow is re-hashed onto a healthy candidate.
+When no tables are available at all the router falls back to plain ECMP
+(paper §5, safe fallbacks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..routing.base import Router, flow_hash, register_router
+from ..simulator.flow import FlowDemand
+from ..simulator.switch import PortSample
+from ..topology.paths import CandidatePath
+from .config import LCMPConfig
+from .congestion import CongestionEstimator
+from .control_plane import PathKey
+from .cost_fusion import PathCost, score_candidates
+from .failover import PortLivenessTracker
+from .flow_cache import FlowCache
+from .path_quality import candidate_path_quality
+from .selection import SelectionOutcome, select_path
+from .switch_tables import SwitchTables
+
+__all__ = ["LCMPRouter"]
+
+
+@register_router
+class LCMPRouter(Router):
+    """Distributed long-haul cost-aware multi-path router (one per DCI switch)."""
+
+    name = "lcmp"
+
+    def __init__(self, config: Optional[LCMPConfig] = None) -> None:
+        super().__init__()
+        self.config = config or LCMPConfig()
+        self.config.validate()
+
+        self.tables: Optional[SwitchTables] = None
+        self._path_scores: Dict[PathKey, int] = {}
+        self.estimator: Optional[CongestionEstimator] = None
+        self.flow_cache = FlowCache(
+            capacity=self.config.flow_cache_capacity,
+            idle_timeout_s=self.config.flow_idle_timeout_s,
+        )
+        self.liveness = PortLivenessTracker()
+
+        # decision statistics
+        self.ecmp_fallbacks = 0
+        self.herd_fallbacks = 0
+        self.sticky_hits = 0
+        self.failover_rehashes = 0
+        self.last_outcome: Optional[SelectionOutcome] = None
+
+    # ------------------------------------------------------------------ #
+    # control-plane installation
+    # ------------------------------------------------------------------ #
+    def install_tables(self, tables: SwitchTables, path_scores: Dict[PathKey, int]) -> None:
+        """Install bootstrap tables and precomputed C_path scores."""
+        self.tables = tables
+        self._path_scores = dict(path_scores)
+        self.estimator = CongestionEstimator(tables, self.config)
+
+    @property
+    def installed(self) -> bool:
+        """True once the control plane has provisioned this switch."""
+        return self.tables is not None
+
+    # ------------------------------------------------------------------ #
+    # telemetry hooks
+    # ------------------------------------------------------------------ #
+    def on_port_sample(self, sample: PortSample, now: float) -> None:
+        """Refresh congestion state (step 1 of the decision pipeline)."""
+        self.liveness.observe(sample.next_dc, sample.up)
+        if self.estimator is None:
+            # the switch has not been provisioned yet; bootstrap minimal
+            # tables from what the monitor tells us (on-demand creation)
+            self.tables = SwitchTables.bootstrap(
+                config=self.config,
+                max_capacity_bps=max(sample.cap_bps, 1.0),
+                buffer_bytes=max(sample.buffer_bytes, 1.0),
+            )
+            self.estimator = CongestionEstimator(self.tables, self.config)
+        self.estimator.observe(sample.next_dc, sample.queue_bytes, sample.cap_bps, now)
+
+    def on_tick(self, now: float) -> None:
+        """Periodic garbage collection of the flow cache."""
+        self.flow_cache.garbage_collect(now)
+
+    # ------------------------------------------------------------------ #
+    # the per-flow decision
+    # ------------------------------------------------------------------ #
+    def select(
+        self,
+        dst_dc: str,
+        candidates: Sequence[CandidatePath],
+        demand: FlowDemand,
+        now: float,
+    ) -> CandidatePath:
+        """Full LCMP decision for the first packet of a flow."""
+        self.decisions += 1
+
+        # flow identification: established flows follow the cached egress
+        cached = self.flow_cache.lookup(demand.flow_id, now)
+        if cached is not None:
+            if self.liveness.is_up(cached.out_port):
+                sticky = self._candidate_via(candidates, cached.out_port)
+                if sticky is not None:
+                    self.sticky_hits += 1
+                    return sticky
+            else:
+                # lazy fast-failover: invalidate and treat as a new flow
+                self.flow_cache.invalidate(demand.flow_id)
+                self.liveness.record_lazy_invalidation()
+                self.failover_rehashes += 1
+
+        if not self.installed:
+            # safe fallback: behave exactly like ECMP until provisioned
+            self.ecmp_fallbacks += 1
+            chosen = candidates[flow_hash(demand.flow_id, self.config.hash_salt) % len(candidates)]
+            self.flow_cache.insert(demand.flow_id, chosen.first_hop, now)
+            return chosen
+
+        costs = self._cost_candidates(candidates)
+        outcome = select_path(costs, demand.flow_id, self.config)
+        self.last_outcome = outcome
+        if outcome.all_congested:
+            self.herd_fallbacks += 1
+        chosen = outcome.chosen.candidate
+        self.flow_cache.insert(demand.flow_id, chosen.first_hop, now)
+        return chosen
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _candidate_via(
+        self, candidates: Sequence[CandidatePath], next_hop: str
+    ) -> Optional[CandidatePath]:
+        for candidate in candidates:
+            if candidate.first_hop == next_hop:
+                return candidate
+        return None
+
+    def _cost_candidates(self, candidates: Sequence[CandidatePath]) -> List[PathCost]:
+        path_scores = [self._path_quality_of(c) for c in candidates]
+        congestion_scores = [self._congestion_of(c) for c in candidates]
+        return score_candidates(candidates, path_scores, congestion_scores, self.config)
+
+    def _path_quality_of(self, candidate: CandidatePath) -> int:
+        key: PathKey = (candidate.dst, candidate.dcs)
+        score = self._path_scores.get(key)
+        if score is None:
+            # on-demand derivation when the control plane table lacks the
+            # entry (e.g. a path installed after bootstrap)
+            score = candidate_path_quality(candidate, self.tables, self.config)
+            self._path_scores[key] = score
+        return score
+
+    def _congestion_of(self, candidate: CandidatePath) -> int:
+        if self.estimator is None:
+            return 0
+        return self.estimator.congestion_score(candidate.first_hop)
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, int]:
+        """Decision statistics (used by tests and the experiment reports)."""
+        return {
+            "decisions": self.decisions,
+            "ecmp_fallbacks": self.ecmp_fallbacks,
+            "herd_fallbacks": self.herd_fallbacks,
+            "sticky_hits": self.sticky_hits,
+            "failover_rehashes": self.failover_rehashes,
+            "flow_cache_entries": len(self.flow_cache),
+            "flow_cache_hits": self.flow_cache.hits,
+            "flow_cache_misses": self.flow_cache.misses,
+        }

@@ -1,0 +1,107 @@
+"""Control-plane path-quality score C_path (paper §3.2, Alg. 1, Alg. 2, Eq. 2).
+
+The path-quality score compresses the slowly varying attributes of a
+candidate route — one-way propagation delay and provisioned (bottleneck)
+capacity — into a single byte the data plane can compare at line rate.  All
+arithmetic is integer-only with right-shift normalisation, exactly as in the
+paper so the score could be installed on a programmable switch verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..topology.paths import CandidatePath
+from .config import LCMPConfig
+from .switch_tables import SwitchTables
+
+__all__ = [
+    "calc_delay_cost",
+    "calc_link_cap_cost",
+    "path_quality_score",
+    "candidate_path_quality",
+]
+
+
+def calc_delay_cost(one_way_delay_ms: float, max_delay_ms: int = 32) -> int:
+    """Algorithm 1: saturating, shift-based mapping from delay to delayScore.
+
+    Args:
+        one_way_delay_ms: the path's one-way propagation delay in ms.
+        max_delay_ms: configured saturation point; must be a power of two so
+            the division is a right shift.
+
+    Returns:
+        delayScore in [0, 255]; delays at or beyond the saturation point map
+        to 255 (the worst score).
+    """
+    if max_delay_ms <= 0 or max_delay_ms & (max_delay_ms - 1):
+        raise ValueError("max_delay_ms must be a positive power of two")
+    if one_way_delay_ms < 0:
+        raise ValueError("delay must be non-negative")
+    if one_way_delay_ms >= max_delay_ms:
+        return 255
+    shift = max_delay_ms.bit_length() - 1
+    # integer arithmetic: (delay * 255) >> shift  ==  delay * 255 / max_delay
+    return min(255, (int(one_way_delay_ms) * 255) >> shift)
+
+
+def calc_link_cap_cost(
+    link_cap_bps: float,
+    link_cap_thresholds: Sequence[float],
+    level_scores: Sequence[int],
+) -> int:
+    """Algorithm 2: capacity-class lookup mapping link capacity to a cost.
+
+    Scans the threshold vector from the highest class downward and returns
+    ``255 - levelScore[class]`` so that higher capacity yields a smaller
+    cost.  Capacities below every threshold return 255 (worst).
+
+    Args:
+        link_cap_bps: the candidate's provisioned (bottleneck) capacity.
+        link_cap_thresholds: increasing class boundaries.
+        level_scores: 0–255 score per class.
+
+    Returns:
+        linkCapScore in [0, 255].
+    """
+    if len(link_cap_thresholds) != len(level_scores):
+        raise ValueError("thresholds and level scores must have the same length")
+    for i in range(len(link_cap_thresholds) - 1, -1, -1):
+        if link_cap_bps >= link_cap_thresholds[i]:
+            return max(0, 255 - level_scores[i])
+    return 255
+
+
+def path_quality_score(
+    delay_score: int,
+    link_cap_score: int,
+    config: LCMPConfig,
+) -> int:
+    """Equation 2: fuse delayScore and linkCapScore into C_path.
+
+    ``pathScore = w_dl * delayScore + w_lc * linkCapScore`` followed by a
+    right shift and saturation at 255.
+    """
+    if not 0 <= delay_score <= 255 or not 0 <= link_cap_score <= 255:
+        raise ValueError("component scores must be in [0, 255]")
+    path_score = config.w_dl * delay_score + config.w_lc * link_cap_score
+    return min(path_score >> config.path_shift, 255)
+
+
+def candidate_path_quality(
+    candidate: CandidatePath,
+    tables: SwitchTables,
+    config: LCMPConfig,
+) -> int:
+    """C_path of a candidate route, from its static attributes.
+
+    The delay component uses the candidate's end-to-end one-way propagation
+    delay; the capacity component uses its bottleneck capacity (on single
+    inter-DC-hop routes this is exactly the egress link capacity of Alg. 2).
+    """
+    delay_score = calc_delay_cost(candidate.delay_s * 1e3, config.max_delay_ms)
+    cap_score = calc_link_cap_cost(
+        candidate.bottleneck_bps, tables.link_cap_thresholds, tables.level_scores
+    )
+    return path_quality_score(delay_score, cap_score, config)

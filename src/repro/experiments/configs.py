@@ -1,0 +1,104 @@
+"""Experiment specifications for every figure of the paper's evaluation.
+
+An :class:`ExperimentSpec` fully describes one simulation run (topology,
+workload, load, congestion control, routing algorithm, seeds and simulator
+tunables); the per-figure helpers at the bottom enumerate the runs each paper
+figure needs.  The experiment harness runs the fluid simulator in a
+time-scaled regime (``capacity_scale``, default 1/10 of the provisioned
+rates) so that a few thousand Python-simulated flows sustain the paper's
+30/50/80 % loads over several seconds — see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import LCMPConfig
+
+__all__ = [
+    "DEFAULT_CAPACITY_SCALE",
+    "LOADS",
+    "BASELINE_ROUTERS",
+    "ALL_ROUTERS",
+    "WORKLOAD_NAMES",
+    "CC_NAMES",
+    "TESTBED_ENDPOINT_PAIRS",
+    "CASE_STUDY_PAIRS",
+    "ExperimentSpec",
+]
+
+#: capacity scale used by all experiment specs (see DESIGN.md)
+DEFAULT_CAPACITY_SCALE = 0.1
+#: the three offered loads of the evaluation
+LOADS: Tuple[float, ...] = (0.3, 0.5, 0.8)
+#: baselines the paper compares against
+BASELINE_ROUTERS: Tuple[str, ...] = ("ecmp", "ucmp", "redte")
+#: every routing algorithm including LCMP
+ALL_ROUTERS: Tuple[str, ...] = ("lcmp",) + BASELINE_ROUTERS
+#: the three workloads of §6.3.1
+WORKLOAD_NAMES: Tuple[str, ...] = ("websearch", "alistorage", "fbhadoop")
+#: the congestion controls of §6.3.2 (DCQCN is the default everywhere)
+CC_NAMES: Tuple[str, ...] = ("dcqcn", "hpcc", "timely", "dctcp")
+#: all-to-all traffic between the testbed endpoints DC1 and DC8
+TESTBED_ENDPOINT_PAIRS: Tuple[Tuple[str, str], ...] = (("DC1", "DC8"), ("DC8", "DC1"))
+#: the representative multi-path pair of the 13-DC case study (§6.2.2)
+CASE_STUDY_PAIRS: Tuple[Tuple[str, str], ...] = (("DC1", "DC13"), ("DC13", "DC1"))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One fully described simulation run.
+
+    Attributes:
+        name: label used in reports.
+        topology: ``"testbed8"`` or ``"bso13"``.
+        router: routing algorithm name (``"lcmp"``, ``"ecmp"``, ``"ucmp"``,
+            ``"wcmp"``, ``"redte"``).
+        workload: flow-size distribution name.
+        load: offered load fraction (0.3 / 0.5 / 0.8).
+        cc: congestion-control name.
+        num_flows: number of flows to generate.
+        pairs: ``"all_to_all"`` or an explicit tuple of ordered DC pairs.
+        lcmp_config: LCMP weight configuration (ignored by baselines).
+        capacity_scale: time-scaling factor for the fluid simulator.
+        seed: RNG seed shared by traffic generation and the simulator.
+        update_interval_s / monitor_interval_s: simulator cadences.
+        fidelity_noise: measurement-noise sigma (testbed profile of Fig. 6).
+        trace_links: record per-link time series (needed by Fig. 1b).
+    """
+
+    name: str
+    topology: str = "testbed8"
+    router: str = "lcmp"
+    workload: str = "websearch"
+    load: float = 0.3
+    cc: str = "dcqcn"
+    num_flows: int = 2000
+    pairs: object = TESTBED_ENDPOINT_PAIRS
+    lcmp_config: Optional[LCMPConfig] = None
+    capacity_scale: float = DEFAULT_CAPACITY_SCALE
+    seed: int = 1
+    update_interval_s: float = 1e-3
+    monitor_interval_s: float = 1e-3
+    fidelity_noise: float = 0.0
+    trace_links: bool = False
+
+    def with_overrides(self, **kwargs) -> "ExperimentSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def validate(self) -> None:
+        """Check the spec names known components.
+
+        Raises:
+            ValueError: for unknown topology names or non-positive loads.
+        """
+        if self.topology not in ("testbed8", "bso13"):
+            raise ValueError(f"unknown topology {self.topology!r}")
+        if self.load <= 0:
+            raise ValueError("load must be positive")
+        if self.num_flows <= 0:
+            raise ValueError("num_flows must be positive")
+        if self.capacity_scale <= 0:
+            raise ValueError("capacity_scale must be positive")

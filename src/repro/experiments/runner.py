@@ -1,0 +1,148 @@
+"""Experiment runner: :class:`ExperimentSpec` in, analysed results out.
+
+The runner builds (and caches) the topology and candidate-path set, resolves
+the routing algorithm and congestion control by name, generates the traffic
+matrix, runs the fluid simulation and wraps the outcome in an
+:class:`ExperimentRun` carrying both the raw simulation result and the binned
+slowdown profile the figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.fct_analysis import SlowdownProfile
+from ..congestion_control import make_cc_factory
+from ..core import LCMPConfig, lcmp_router_factory
+from ..routing import make_router_factory
+from ..simulator import FluidSimulation, RuntimeNetwork, SimulationConfig, SimulationResult
+from ..simulator.fct import FlowRecord
+from ..topology import PathSet, Topology, bso13_pathset, build_bso13, build_testbed8, testbed8_pathset
+from ..workloads import TrafficConfig, TrafficGenerator
+from .configs import ExperimentSpec
+
+__all__ = ["ExperimentRun", "ExperimentRunner"]
+
+
+@dataclass
+class ExperimentRun:
+    """The outcome of one experiment run."""
+
+    spec: ExperimentSpec
+    result: SimulationResult
+    profile: SlowdownProfile
+
+    def pair_profile(self, src_dc: str, dst_dc: str, bidirectional: bool = True) -> SlowdownProfile:
+        """Slowdown profile restricted to one DC pair (the Fig. 8 view)."""
+        records: List[FlowRecord] = [
+            r
+            for r in self.result.records
+            if (r.src_dc == src_dc and r.dst_dc == dst_dc)
+            or (bidirectional and r.src_dc == dst_dc and r.dst_dc == src_dc)
+        ]
+        return SlowdownProfile.from_records(self.profile.name, records)
+
+
+class ExperimentRunner:
+    """Runs experiment specs, caching topology construction."""
+
+    def __init__(self) -> None:
+        self._topology_cache: Dict[Tuple[str, float], Tuple[Topology, PathSet]] = {}
+
+    # ------------------------------------------------------------------ #
+    # building blocks
+    # ------------------------------------------------------------------ #
+    def topology_for(self, spec: ExperimentSpec) -> Tuple[Topology, PathSet]:
+        """Build (or fetch from cache) the topology + path set of a spec."""
+        key = (spec.topology, spec.capacity_scale)
+        if key not in self._topology_cache:
+            if spec.topology == "testbed8":
+                topo = build_testbed8(capacity_scale=spec.capacity_scale)
+                pathset = testbed8_pathset(topo)
+            elif spec.topology == "bso13":
+                topo = build_bso13(capacity_scale=spec.capacity_scale)
+                pathset = bso13_pathset(topo)
+            else:
+                raise ValueError(f"unknown topology {spec.topology!r}")
+            self._topology_cache[key] = (topo, pathset)
+        return self._topology_cache[key]
+
+    def router_factory_for(self, spec: ExperimentSpec, topology: Topology, pathset: PathSet):
+        """Resolve the routing algorithm named by the spec."""
+        if spec.router == "lcmp":
+            return lcmp_router_factory(
+                topology,
+                pathset,
+                config=spec.lcmp_config or LCMPConfig(),
+                monitor_interval_s=spec.monitor_interval_s,
+            )
+        return make_router_factory(spec.router)
+
+    def simulation_config_for(self, spec: ExperimentSpec) -> SimulationConfig:
+        """Simulator tunables derived from the spec."""
+        return SimulationConfig(
+            update_interval_s=spec.update_interval_s,
+            monitor_interval_s=spec.monitor_interval_s,
+            fidelity_noise=spec.fidelity_noise,
+            seed=spec.seed,
+        )
+
+    def demands_for(self, spec: ExperimentSpec, topology: Topology, pathset: PathSet):
+        """Generate the traffic matrix of a spec."""
+        traffic = TrafficConfig(
+            workload=spec.workload,
+            load=spec.load,
+            num_flows=spec.num_flows,
+            pairs=spec.pairs,
+            seed=spec.seed,
+        )
+        return TrafficGenerator(topology, pathset, traffic).generate()
+
+    # ------------------------------------------------------------------ #
+    # running
+    # ------------------------------------------------------------------ #
+    def run(self, spec: ExperimentSpec) -> ExperimentRun:
+        """Run one experiment end to end."""
+        spec.validate()
+        topology, pathset = self.topology_for(spec)
+        demands = self.demands_for(spec, topology, pathset)
+        config = self.simulation_config_for(spec)
+        network = RuntimeNetwork(
+            topology, pathset, self.router_factory_for(spec, topology, pathset), config
+        )
+        simulation = FluidSimulation(
+            network,
+            demands,
+            make_cc_factory(spec.cc),
+            config,
+            trace_links=spec.trace_links,
+        )
+        result = simulation.run()
+        profile = SlowdownProfile.from_records(spec.name, result.records)
+        return ExperimentRun(spec=spec, result=result, profile=profile)
+
+    def run_many(self, specs: Sequence[ExperimentSpec]) -> List[ExperimentRun]:
+        """Run several specs sequentially."""
+        return [self.run(spec) for spec in specs]
+
+    def run_router_comparison(
+        self,
+        base_spec: ExperimentSpec,
+        routers: Sequence[str],
+        lcmp_config: Optional[LCMPConfig] = None,
+    ) -> Dict[str, ExperimentRun]:
+        """Run the same scenario under several routing algorithms.
+
+        Every run shares the traffic matrix (same workload seed) so the only
+        varying factor is the routing decision, exactly as in the paper.
+        """
+        runs: Dict[str, ExperimentRun] = {}
+        for router in routers:
+            spec = base_spec.with_overrides(
+                name=router,
+                router=router,
+                lcmp_config=lcmp_config if router == "lcmp" else None,
+            )
+            runs[router] = self.run(spec)
+        return runs

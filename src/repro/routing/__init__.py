@@ -1,0 +1,32 @@
+"""Baseline routing algorithms (ECMP, WCMP, UCMP, RedTE) and the router registry.
+
+The LCMP router itself lives in :mod:`repro.core.lcmp_router`; importing
+:mod:`repro.core` registers it under the name ``"lcmp"`` so
+:func:`make_router_factory` can build any of the evaluated schemes by name.
+"""
+
+from .base import (
+    Router,
+    RouterFactory,
+    available_routers,
+    flow_hash,
+    make_router_factory,
+    register_router,
+)
+from .ecmp import ECMPRouter
+from .redte import RedTERouter
+from .ucmp import UCMPRouter
+from .wcmp import WCMPRouter
+
+__all__ = [
+    "Router",
+    "RouterFactory",
+    "available_routers",
+    "flow_hash",
+    "make_router_factory",
+    "register_router",
+    "ECMPRouter",
+    "WCMPRouter",
+    "UCMPRouter",
+    "RedTERouter",
+]

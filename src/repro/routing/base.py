@@ -1,0 +1,132 @@
+"""Routing-algorithm interface and registry.
+
+Every routing scheme in the evaluation — ECMP, WCMP, UCMP, RedTE and LCMP —
+implements the same switch-local interface: it is attached to one DCI switch,
+receives periodic queue-monitor samples of that switch's egress ports, and is
+asked to pick one candidate route when the first packet of a new flow
+arrives.  The interface mirrors what the paper's data-plane prototype can do:
+decisions use only locally available state (precomputed path attributes plus
+the switch's own port telemetry).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional, Sequence, Type
+
+from ..simulator.flow import FlowDemand
+from ..simulator.switch import PortSample
+from ..topology.paths import CandidatePath
+
+__all__ = [
+    "Router",
+    "RouterFactory",
+    "register_router",
+    "make_router_factory",
+    "available_routers",
+    "flow_hash",
+]
+
+
+def flow_hash(flow_id: int, salt: int = 0x9E3779B1) -> int:
+    """Deterministic 32-bit hash of a flow identifier.
+
+    Stands in for the five-tuple hash a switch ASIC computes; a simple
+    multiplicative (Fibonacci) hash gives good dispersion for consecutive
+    flow ids, which is what the traffic generator produces.
+    """
+    x = (flow_id * salt) & 0xFFFFFFFF
+    x ^= x >> 16
+    x = (x * 0x85EBCA6B) & 0xFFFFFFFF
+    x ^= x >> 13
+    return x
+
+
+class Router(abc.ABC):
+    """Base class for switch-local routing algorithms."""
+
+    #: registry name, e.g. ``"ecmp"``
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self.switch = None
+        #: number of select() calls served
+        self.decisions = 0
+
+    # ------------------------------------------------------------------ #
+    def attach(self, switch) -> None:
+        """Bind the router to its DCI switch (called by the switch)."""
+        self.switch = switch
+
+    @property
+    def switch_name(self) -> str:
+        """Name of the attached switch (empty before attachment)."""
+        return self.switch.dc if self.switch is not None else ""
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def select(
+        self,
+        dst_dc: str,
+        candidates: Sequence[CandidatePath],
+        demand: FlowDemand,
+        now: float,
+    ) -> CandidatePath:
+        """Pick one candidate route for a new flow toward ``dst_dc``.
+
+        ``candidates`` is never empty and contains only routes whose first
+        hop port is currently alive.
+        """
+
+    # ------------------------------------------------------------------ #
+    # optional hooks
+    # ------------------------------------------------------------------ #
+    def on_port_sample(self, sample: PortSample, now: float) -> None:
+        """Receive one queue-monitor observation of a local egress port."""
+
+    def on_tick(self, now: float) -> None:
+        """Periodic housekeeping (flow-cache GC, control loops)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(switch={self.switch_name!r})"
+
+
+#: a router factory: (dc name) -> Router instance
+RouterFactory = Callable[[str], Router]
+
+_REGISTRY: Dict[str, Type[Router]] = {}
+
+
+def register_router(cls: Type[Router]) -> Type[Router]:
+    """Class decorator registering a routing algorithm by name."""
+    if not cls.name or cls.name == "base":
+        raise ValueError("router classes must define a unique name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_routers() -> List[str]:
+    """Names of all registered routing algorithms."""
+    return sorted(_REGISTRY)
+
+
+def make_router_factory(name: str, **params) -> RouterFactory:
+    """Build a per-switch router factory for the named algorithm.
+
+    Each DCI switch receives its own router instance (the schemes are
+    distributed); ``params`` are forwarded to every instance.
+
+    Raises:
+        KeyError: for unknown router names.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown router {name!r}; available: {available_routers()}"
+        ) from None
+
+    def factory(dc: str) -> Router:
+        return cls(**params)
+
+    return factory

@@ -1,0 +1,45 @@
+"""Equal-Cost Multi-Path routing (ECMP).
+
+The widely deployed default: the switch hashes the flow identifier and picks
+a candidate uniformly, ignoring both static path asymmetry (delay/capacity)
+and current congestion.  This is the paper's primary deployed baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..simulator.flow import FlowDemand
+from ..topology.paths import CandidatePath
+from .base import Router, flow_hash, register_router
+
+__all__ = ["ECMPRouter"]
+
+
+@register_router
+class ECMPRouter(Router):
+    """Oblivious hashing across all candidates."""
+
+    name = "ecmp"
+
+    def __init__(self, salt: int = 0x9E3779B1) -> None:
+        """Create an ECMP router.
+
+        Args:
+            salt: hash salt; varying it across experiments changes the hash
+                function the same way reshuffling the ECMP seed would.
+        """
+        super().__init__()
+        self.salt = salt
+
+    def select(
+        self,
+        dst_dc: str,
+        candidates: Sequence[CandidatePath],
+        demand: FlowDemand,
+        now: float,
+    ) -> CandidatePath:
+        """Hash the flow id over the candidate list."""
+        self.decisions += 1
+        index = flow_hash(demand.flow_id, self.salt) % len(candidates)
+        return candidates[index]

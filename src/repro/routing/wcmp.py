@@ -1,0 +1,52 @@
+"""Weighted-Cost Multi-Path routing (WCMP, Zhou et al., EuroSys 2014).
+
+WCMP extends ECMP with static weights so that hashing spreads flows in
+proportion to provisioned capacity.  It repairs ECMP's blindness to capacity
+asymmetry but remains oblivious to propagation delay and to transient
+congestion — the gap the paper highlights for slow, topology-only schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..simulator.flow import FlowDemand
+from ..topology.paths import CandidatePath
+from .base import Router, flow_hash, register_router
+
+__all__ = ["WCMPRouter"]
+
+
+@register_router
+class WCMPRouter(Router):
+    """Static capacity-weighted hashing."""
+
+    name = "wcmp"
+
+    def __init__(self, salt: int = 0x2545F491) -> None:
+        super().__init__()
+        self.salt = salt
+
+    def select(
+        self,
+        dst_dc: str,
+        candidates: Sequence[CandidatePath],
+        demand: FlowDemand,
+        now: float,
+    ) -> CandidatePath:
+        """Pick a candidate with probability proportional to its bottleneck capacity.
+
+        The selection is deterministic per flow: the flow hash is mapped onto
+        the cumulative capacity distribution of the candidates (the software
+        analogue of WCMP's replicated ECMP table entries).
+        """
+        self.decisions += 1
+        weights = [max(c.bottleneck_bps, 1.0) for c in candidates]
+        total = sum(weights)
+        point = (flow_hash(demand.flow_id, self.salt) / 0xFFFFFFFF) * total
+        cumulative = 0.0
+        for candidate, weight in zip(candidates, weights):
+            cumulative += weight
+            if point <= cumulative:
+                return candidate
+        return candidates[-1]

@@ -1,0 +1,46 @@
+"""Fluid flow-level discrete-event network simulator.
+
+The substrate that replaces the paper's NS-3 simulations (see DESIGN.md for
+the substitution rationale).  Public entry points:
+
+* :class:`~repro.simulator.engine.SimulationEngine` — the event loop.
+* :class:`~repro.simulator.network.RuntimeNetwork` — runtime topology state.
+* :class:`~repro.simulator.fluid.FluidSimulation` — one simulation run.
+* :class:`~repro.simulator.config.SimulationConfig` — tunables.
+"""
+
+from .config import SimulationConfig
+from .engine import Event, EventQueue, SimulationEngine, SimulationError
+from .fct import FCTCollector, FlowRecord, IdealFctModel
+from .flow import FeedbackSignal, Flow, FlowDemand
+from .fluid import FluidSimulation, LinkStats, SimulationResult
+from .link import RuntimeLink
+from .monitor import LinkTrace, LinkTraceSample, QueueMonitor
+from .network import RoutingLoopError, RuntimeNetwork
+from .switch import DCISwitch, PortSample, RoutingDecision
+
+__all__ = [
+    "SimulationConfig",
+    "SimulationEngine",
+    "SimulationError",
+    "Event",
+    "EventQueue",
+    "FCTCollector",
+    "FlowRecord",
+    "IdealFctModel",
+    "FeedbackSignal",
+    "Flow",
+    "FlowDemand",
+    "FluidSimulation",
+    "LinkStats",
+    "SimulationResult",
+    "RuntimeLink",
+    "LinkTrace",
+    "LinkTraceSample",
+    "QueueMonitor",
+    "RoutingLoopError",
+    "RuntimeNetwork",
+    "DCISwitch",
+    "PortSample",
+    "RoutingDecision",
+]

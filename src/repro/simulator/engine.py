@@ -1,0 +1,206 @@
+"""Discrete-event simulation engine.
+
+A small, dependency-free event loop: events are (time, sequence, callback)
+tuples on a binary heap; callbacks may schedule further events.  The fluid
+network simulation (:mod:`repro.simulator.fluid`) uses it for flow arrivals,
+periodic rate/queue updates, queue-monitor sampling and garbage-collection
+ticks.
+
+The engine is deliberately minimal — it knows nothing about networks — so it
+can be reused and tested in isolation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+__all__ = ["Event", "EventQueue", "SimulationEngine", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the engine (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time, seq)``; the sequence number makes ordering of
+    same-time events deterministic (FIFO in scheduling order).
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` ordered by time."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at ``time`` and return the event handle."""
+        event = Event(time=time, seq=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or ``None`` when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class SimulationEngine:
+    """Event loop with a monotonically advancing simulated clock.
+
+    Example:
+        >>> engine = SimulationEngine()
+        >>> seen = []
+        >>> _ = engine.schedule(1.0, lambda: seen.append(engine.now))
+        >>> _ = engine.schedule(0.5, lambda: seen.append(engine.now))
+        >>> engine.run()
+        >>> seen
+        [0.5, 1.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue = EventQueue()
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still scheduled."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------ #
+    def schedule(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``time``.
+
+        Raises:
+            SimulationError: if ``time`` is before the current clock.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} (now is {self._now})"
+            )
+        return self._queue.push(time, callback)
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError("delay must be non-negative")
+        return self._queue.push(self._now + delay, callback)
+
+    def schedule_periodic(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        start: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> None:
+        """Schedule ``callback`` every ``interval`` seconds.
+
+        The recurrence re-schedules itself from inside the event, so it stops
+        naturally when :meth:`run` reaches its ``until`` bound or when the
+        optional ``until`` argument is passed.
+        """
+        if interval <= 0:
+            raise SimulationError("interval must be positive")
+        first = self._now + interval if start is None else start
+
+        def tick() -> None:
+            callback()
+            next_time = self._now + interval
+            if until is None or next_time <= until:
+                self._queue.push(next_time, tick)
+
+        self.schedule(first, tick)
+
+    # ------------------------------------------------------------------ #
+    def step(self) -> bool:
+        """Execute the next event; returns False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now:
+            raise SimulationError("event queue produced an event in the past")
+        self._now = event.time
+        event.callback()
+        self._processed += 1
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue is exhausted, ``until`` is reached, or
+        ``max_events`` have been processed.
+
+        When ``until`` is given and the event queue runs dry (or only holds
+        later events) the clock is advanced to exactly ``until``; if the run
+        was interrupted by :meth:`stop` the clock stays at the last executed
+        event so callers see how far the simulation actually progressed.
+        """
+        self._running = True
+        stopped_early = False
+        executed = 0
+        try:
+            while True:
+                if not self._running:
+                    stopped_early = True
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if not self.step():
+                    break
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    stopped_early = True
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not stopped_early:
+            self._now = until
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event finishes."""
+        self._running = False

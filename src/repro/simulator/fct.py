@@ -1,0 +1,176 @@
+"""Flow-completion-time recording and slowdown computation.
+
+The paper's primary metric is *FCT slowdown*: a flow's measured FCT divided
+by its ideal FCT, where the ideal FCT is the completion time the same flow
+would achieve running alone on the shortest-propagation-delay path of the
+topology.  The collector computes the ideal reference from the static
+topology (so it is identical across routing algorithms) and records one
+:class:`FlowRecord` per completed flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..topology.graph import Topology
+from ..topology.paths import PathSet, shortest_delay_path
+from .flow import Flow, FlowDemand
+
+__all__ = ["FlowRecord", "IdealFctModel", "FCTCollector"]
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One completed flow and its slowdown.
+
+    Attributes:
+        flow_id: unique flow id.
+        src_dc / dst_dc: endpoints.
+        size_bytes: flow size.
+        arrival_s: arrival time.
+        fct_s: measured flow completion time.
+        ideal_fct_s: ideal (unloaded, shortest-delay-path) completion time.
+        slowdown: ``fct_s / ideal_fct_s`` (always >= 1 up to noise).
+        path_dcs: the DC-level route the flow actually took.
+    """
+
+    flow_id: int
+    src_dc: str
+    dst_dc: str
+    size_bytes: int
+    arrival_s: float
+    fct_s: float
+    ideal_fct_s: float
+    slowdown: float
+    path_dcs: Tuple[str, ...]
+
+
+class IdealFctModel:
+    """Computes the ideal FCT reference for each DC pair.
+
+    The paper normalises FCT by the completion time the flow would achieve
+    running alone on the best path of the topology.  For a flow of size
+    ``S`` between DCs (a, b) each candidate path ``p`` offers::
+
+        fct_p = access_delay(a) + access_delay(b) + prop_delay(p)
+                + S * 8 / min(NIC rate, bottleneck of p)
+
+    and the ideal FCT is the minimum over candidates — for small flows that
+    is the shortest-propagation-delay route (the paper's description), for
+    very large flows a higher-capacity route may win.  Taking the minimum
+    keeps the slowdown a true ratio >= ~1 for every flow size.
+    """
+
+    def __init__(self, topology: Topology, pathset: PathSet) -> None:
+        self._topology = topology
+        self._pathset = pathset
+        self._cache: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+
+    def reference(self, src_dc: str, dst_dc: str) -> List[Tuple[float, float]]:
+        """Per-candidate (fixed delay seconds, attainable rate bps) options."""
+        key = (src_dc, dst_dc)
+        if key in self._cache:
+            return self._cache[key]
+
+        groups = self._topology.host_groups
+        src_group = groups.get(src_dc)
+        dst_group = groups.get(dst_dc)
+        access_delay = 0.0
+        nic_limit = float("inf")
+        if src_group:
+            access_delay += src_group.access_delay_s
+            nic_limit = min(nic_limit, src_group.nic_bps)
+        if dst_group:
+            access_delay += dst_group.access_delay_s
+            nic_limit = min(nic_limit, dst_group.nic_bps)
+
+        options: List[Tuple[float, float]] = []
+        if src_dc == dst_dc:
+            rate = nic_limit if nic_limit != float("inf") else 100e9
+            options.append((access_delay, rate))
+        else:
+            candidates = self._pathset.candidates(src_dc, dst_dc)
+            if not candidates:
+                best = shortest_delay_path(self._topology, src_dc, dst_dc)
+                if best is None:
+                    raise ValueError(f"no path between {src_dc} and {dst_dc}")
+                candidates = [best]
+            for candidate in candidates:
+                options.append(
+                    (
+                        access_delay + candidate.delay_s,
+                        min(nic_limit, candidate.bottleneck_bps),
+                    )
+                )
+        self._cache[key] = options
+        return options
+
+    def ideal_fct_s(self, demand: FlowDemand) -> float:
+        """Ideal FCT for a demand: best candidate, run alone (seconds)."""
+        options = self.reference(demand.src_dc, demand.dst_dc)
+        size_bits = demand.size_bytes * 8.0
+        return min(delay + size_bits / rate for delay, rate in options)
+
+
+class FCTCollector:
+    """Accumulates :class:`FlowRecord` objects as flows complete."""
+
+    def __init__(self, ideal_model: IdealFctModel, fidelity_noise: float = 0.0, rng=None):
+        """Create a collector.
+
+        Args:
+            ideal_model: the ideal-FCT reference.
+            fidelity_noise: sigma of multiplicative log-normal noise applied
+                to measured FCTs (0 disables noise; used only by the Fig. 6
+                testbed-fidelity profile).
+            rng: numpy Generator used when noise is enabled.
+        """
+        self._ideal = ideal_model
+        self._noise = fidelity_noise
+        self._rng = rng
+        self._records: List[FlowRecord] = []
+
+    def record(self, flow: Flow) -> FlowRecord:
+        """Record a completed flow and return its :class:`FlowRecord`."""
+        demand = flow.demand
+        fct = flow.fct_s()
+        if self._noise > 0 and self._rng is not None:
+            fct *= float(self._rng.lognormal(mean=0.0, sigma=self._noise))
+        ideal = self._ideal.ideal_fct_s(demand)
+        slowdown = fct / ideal if ideal > 0 else float("inf")
+        path_dcs = tuple(
+            dict.fromkeys(
+                [demand.src_dc]
+                + [link.spec.dst for link in flow.path if link.spec.inter_dc]
+            )
+        )
+        rec = FlowRecord(
+            flow_id=demand.flow_id,
+            src_dc=demand.src_dc,
+            dst_dc=demand.dst_dc,
+            size_bytes=demand.size_bytes,
+            arrival_s=demand.arrival_s,
+            fct_s=fct,
+            ideal_fct_s=ideal,
+            slowdown=slowdown,
+            path_dcs=path_dcs,
+        )
+        self._records.append(rec)
+        return rec
+
+    @property
+    def records(self) -> List[FlowRecord]:
+        """All records collected so far."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def filter_pair(self, src_dc: str, dst_dc: str) -> List[FlowRecord]:
+        """Records for flows between a specific ordered DC pair."""
+        return [r for r in self._records if r.src_dc == src_dc and r.dst_dc == dst_dc]
+
+    def slowdowns(self) -> List[float]:
+        """All slowdown values."""
+        return [r.slowdown for r in self._records]

@@ -1,0 +1,185 @@
+"""Flows and congestion feedback signals.
+
+A :class:`FlowDemand` is what the traffic generator produces (who talks to
+whom, how many bytes, when); a :class:`Flow` is the runtime object the fluid
+simulation advances (path, congestion-control state, remaining bytes); a
+:class:`FeedbackSignal` is the per-RTT congestion feedback delivered to the
+flow's congestion-control instance after the path round-trip delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .link import RuntimeLink
+
+__all__ = ["FlowDemand", "FeedbackSignal", "Flow"]
+
+
+@dataclass(frozen=True)
+class FlowDemand:
+    """A flow the workload wants to send.
+
+    Attributes:
+        flow_id: unique integer id (also used as the ECMP/LCMP hash input).
+        src_dc / dst_dc: datacenter names.
+        src_host / dst_host: host indices within the datacenters.
+        size_bytes: application bytes to transfer.
+        arrival_s: arrival time in simulated seconds.
+    """
+
+    flow_id: int
+    src_dc: str
+    dst_dc: str
+    src_host: int
+    dst_host: int
+    size_bytes: int
+    arrival_s: float
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("flow size must be positive")
+        if self.arrival_s < 0:
+            raise ValueError("arrival time must be non-negative")
+        if self.src_dc == self.dst_dc and self.src_host == self.dst_host:
+            raise ValueError("flow source and destination must differ")
+
+
+@dataclass(frozen=True)
+class FeedbackSignal:
+    """Congestion feedback observed along a flow's path during one step.
+
+    The signal is *generated* when the congestion occurs and *delivered* to
+    the sender one path round-trip later, reproducing the outdated-feedback
+    property of long-haul networks.
+
+    Attributes:
+        generated_s: simulation time the signal was generated.
+        ecn_fraction: fraction of the flow's traffic that would be
+            ECN-marked given the per-link marking probabilities.
+        max_utilization: highest link utilisation (offered / capacity) along
+            the path — the HPCC-style in-band telemetry summary.
+        rtt_s: base RTT plus total queueing delay along the path — the
+            TIMELY-style delay sample.
+        queue_delay_s: total queueing delay along the path.
+    """
+
+    generated_s: float
+    ecn_fraction: float
+    max_utilization: float
+    rtt_s: float
+    queue_delay_s: float
+
+
+class Flow:
+    """Runtime state of a single RDMA flow in the fluid model."""
+
+    def __init__(self, demand: FlowDemand, path: Sequence[RuntimeLink], cc, base_rtt_s: float):
+        """Create a runtime flow.
+
+        Args:
+            demand: the originating demand.
+            path: ordered runtime links from source host to destination host
+                (host NIC uplink, inter-DC links, destination downlink).
+            cc: a congestion-control instance exposing ``rate_bps``,
+                ``on_feedback(signal, now)`` and ``on_interval(dt, now)``.
+            base_rtt_s: propagation-only round-trip time of the path.
+        """
+        self.demand = demand
+        self.path: Tuple[RuntimeLink, ...] = tuple(path)
+        self.cc = cc
+        self.base_rtt_s = base_rtt_s
+        self.remaining_bytes: float = float(demand.size_bytes)
+        self.start_s: float = demand.arrival_s
+        self.finish_s: Optional[float] = None
+        #: achieved throughput during the most recent update step (bps)
+        self.achieved_bps: float = 0.0
+        #: congestion feedback in flight towards the sender
+        self._pending_feedback: List[Tuple[float, FeedbackSignal]] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def flow_id(self) -> int:
+        """Unique flow identifier."""
+        return self.demand.flow_id
+
+    @property
+    def size_bytes(self) -> int:
+        """Total bytes the flow transfers."""
+        return self.demand.size_bytes
+
+    @property
+    def completed(self) -> bool:
+        """True once every byte has been transmitted."""
+        return self.remaining_bytes <= 0
+
+    @property
+    def one_way_delay_s(self) -> float:
+        """Propagation delay of the chosen path (source to destination)."""
+        return sum(link.delay_s for link in self.path)
+
+    @property
+    def sending_rate_bps(self) -> float:
+        """Rate the congestion controller currently allows."""
+        return self.cc.rate_bps
+
+    @property
+    def inter_dc_links(self) -> Tuple[RuntimeLink, ...]:
+        """The inter-DC links of the path (the ones LCMP chooses among)."""
+        return tuple(link for link in self.path if link.spec.inter_dc)
+
+    # ------------------------------------------------------------------ #
+    def transfer(self, achieved_bps: float, dt: float) -> float:
+        """Advance the flow by one update step at ``achieved_bps``.
+
+        Returns:
+            Bytes actually transferred during the step (bounded by the bytes
+            still remaining).
+        """
+        self.achieved_bps = achieved_bps
+        want = achieved_bps * dt / 8.0
+        sent = min(want, self.remaining_bytes)
+        self.remaining_bytes -= sent
+        return sent
+
+    def enqueue_feedback(self, signal: FeedbackSignal, deliver_s: float) -> None:
+        """Put a congestion signal in flight; delivered at ``deliver_s``."""
+        self._pending_feedback.append((deliver_s, signal))
+
+    def deliver_due_feedback(self, now: float) -> int:
+        """Deliver all feedback whose time has come to the CC instance.
+
+        Returns:
+            Number of signals delivered.
+        """
+        if not self._pending_feedback:
+            return 0
+        due = [item for item in self._pending_feedback if item[0] <= now]
+        if not due:
+            return 0
+        self._pending_feedback = [item for item in self._pending_feedback if item[0] > now]
+        for _, signal in sorted(due, key=lambda item: item[0]):
+            self.cc.on_feedback(signal, now)
+        return len(due)
+
+    def mark_finished(self, now: float) -> None:
+        """Record completion; the last byte lands one propagation delay later."""
+        if self.finish_s is None:
+            self.finish_s = now + self.one_way_delay_s
+
+    def fct_s(self) -> float:
+        """Flow completion time in seconds.
+
+        Raises:
+            RuntimeError: if the flow has not finished yet.
+        """
+        if self.finish_s is None:
+            raise RuntimeError(f"flow {self.flow_id} has not completed")
+        return self.finish_s - self.start_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Flow(#{self.flow_id} {self.demand.src_dc}->{self.demand.dst_dc}, "
+            f"{self.size_bytes}B, remaining={self.remaining_bytes:.0f}B)"
+        )

@@ -1,0 +1,296 @@
+"""Fluid flow-level network simulation.
+
+This is the substrate that replaces the paper's NS-3 setup (see DESIGN.md).
+Flows are modelled as fluid: every ``update_interval`` the simulation
+
+1. sums the sending rate of active flows on every link they traverse,
+2. integrates (offered − capacity) into each egress queue,
+3. computes each flow's achieved rate (its sending rate scaled down by the
+   most-congested link it crosses),
+4. generates congestion feedback (ECN fraction, max utilisation, RTT sample)
+   and puts it "in flight" so the sender's congestion controller only sees it
+   one base-RTT later — the outdated-feedback property of long-haul paths,
+5. advances congestion-controller state and flow progress, and
+6. finishes flows whose bytes are exhausted.
+
+Routing decisions happen exactly once per flow, at arrival time, by walking
+DCI switches hop by hop (see :class:`~repro.simulator.network.RuntimeNetwork`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .config import SimulationConfig
+from .engine import SimulationEngine
+from .fct import FCTCollector, FlowRecord, IdealFctModel
+from .flow import FeedbackSignal, Flow, FlowDemand
+from .link import RuntimeLink
+from .monitor import LinkTrace, QueueMonitor
+from .network import RuntimeNetwork
+
+__all__ = ["LinkStats", "SimulationResult", "FluidSimulation"]
+
+
+@dataclass(frozen=True)
+class LinkStats:
+    """Summary statistics of one inter-DC link after a run."""
+
+    key: Tuple[str, str]
+    cap_bps: float
+    carried_bytes: float
+    dropped_bytes: float
+    peak_queue_bytes: float
+    utilization: float
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation run produces.
+
+    Attributes:
+        records: one :class:`FlowRecord` per completed flow.
+        link_stats: per inter-DC link summary.
+        duration_s: simulated time elapsed (from time 0 to the stop time).
+        unfinished_flows: flows still active when the simulation stopped
+            (should be 0 in a healthy run; benchmarks assert on it).
+        routing_decisions: total number of per-switch routing decisions.
+        monitor_samples: number of queue-monitor sweeps taken.
+        trace: optional per-link time series.
+    """
+
+    records: List[FlowRecord]
+    link_stats: List[LinkStats]
+    duration_s: float
+    unfinished_flows: int
+    routing_decisions: int
+    monitor_samples: int
+    trace: Optional[LinkTrace] = None
+
+    def slowdowns(self) -> List[float]:
+        """All flow slowdowns."""
+        return [r.slowdown for r in self.records]
+
+    def utilization_by_link(self) -> Dict[Tuple[str, str], float]:
+        """Mapping of directed link key to average utilisation."""
+        return {stats.key: stats.utilization for stats in self.link_stats}
+
+
+class FluidSimulation:
+    """Drives one simulation run end to end."""
+
+    def __init__(
+        self,
+        network: RuntimeNetwork,
+        demands: Sequence[FlowDemand],
+        cc_factory: Callable[[float, float], object],
+        config: Optional[SimulationConfig] = None,
+        trace_links: bool = False,
+    ) -> None:
+        """Prepare a run.
+
+        Args:
+            network: runtime network (topology + routers).
+            demands: flow demands, in any order (they are sorted by arrival).
+            cc_factory: ``cc_factory(line_rate_bps, base_rtt_s)`` returning a
+                fresh congestion-control instance per flow.
+            config: simulation tunables.
+            trace_links: record per-link time series (costs memory; used by
+                the motivation figure).
+        """
+        self.network = network
+        self.config = config or network.config
+        self.config.validate()
+        self.cc_factory = cc_factory
+        self.demands = sorted(demands, key=lambda d: (d.arrival_s, d.flow_id))
+
+        self.engine = SimulationEngine()
+        self._rng = np.random.default_rng(self.config.seed)
+        ideal = IdealFctModel(network.topology, network.pathset)
+        self.collector = FCTCollector(
+            ideal, fidelity_noise=self.config.fidelity_noise, rng=self._rng
+        )
+        self._trace = LinkTrace() if trace_links else None
+        self.monitor = QueueMonitor(network, trace=self._trace)
+
+        self._active: List[Flow] = []
+        self._pending_arrivals = len(self.demands)
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return its result."""
+        for demand in self.demands:
+            self.engine.schedule(demand.arrival_s, self._make_arrival(demand))
+
+        # the monitor is scheduled before the rate/queue update so that when
+        # both fire at the same instant the switch samples its queues first
+        # (and the run cannot end before at least one monitor sweep happened)
+        self.engine.schedule_periodic(
+            self.config.monitor_interval_s, self._monitor_step
+        )
+        self.engine.schedule_periodic(
+            self.config.update_interval_s, self._update_step
+        )
+        self.engine.schedule_periodic(self.config.gc_interval_s, self._gc_step)
+
+        last_arrival = self.demands[-1].arrival_s if self.demands else 0.0
+        deadline = min(
+            self.config.max_sim_time_s, last_arrival + self.config.drain_timeout_s
+        )
+        self.engine.run(until=deadline)
+        return self._build_result()
+
+    # ------------------------------------------------------------------ #
+    # event handlers
+    # ------------------------------------------------------------------ #
+    def _make_arrival(self, demand: FlowDemand) -> Callable[[], None]:
+        def arrive() -> None:
+            self._pending_arrivals -= 1
+            now = self.engine.now
+            path = self.network.resolve_path(demand, now)
+            base_rtt = 2.0 * sum(link.delay_s for link in path)
+            line_rate = path[0].cap_bps
+            cc = self.cc_factory(line_rate, base_rtt)
+            flow = Flow(demand, path, cc, base_rtt)
+            self._active.append(flow)
+
+        return arrive
+
+    def _monitor_step(self) -> None:
+        self.monitor.sample(self.engine.now)
+
+    def _gc_step(self) -> None:
+        self.network.tick_all(self.engine.now)
+
+    def _update_step(self) -> None:
+        now = self.engine.now
+        dt = self.config.update_interval_s
+        if not self._active:
+            if self._pending_arrivals == 0 and not self._stopped:
+                self._stopped = True
+                self.engine.stop()
+            return
+
+        # 0. lazy fast-failover: a flow whose path crosses a dead port is
+        # treated as if its next packet re-arrived at the switch — the stale
+        # flow-cache entry is invalidated and the flow is re-hashed onto a
+        # healthy candidate (paper §3.4)
+        for flow in self._active:
+            if any(not link.up for link in flow.path):
+                self._reroute_flow(flow, now)
+
+        # 1. offered load per link
+        offered: Dict[RuntimeLink, float] = {}
+        for flow in self._active:
+            rate = flow.sending_rate_bps
+            for link in flow.path:
+                offered[link] = offered.get(link, 0.0) + rate
+
+        # 2. queue integration + per-link scaling factor
+        scale: Dict[RuntimeLink, float] = {}
+        for link, load in offered.items():
+            link.integrate(load, dt)
+            if load > 0 and link.up:
+                scale[link] = min(1.0, link.cap_bps / load)
+            elif not link.up:
+                scale[link] = 0.0
+            else:
+                scale[link] = 1.0
+
+        # 3.-6. per-flow progress, feedback and completion
+        finished: List[Flow] = []
+        for flow in self._active:
+            factor = min(scale[link] for link in flow.path)
+            achieved = flow.sending_rate_bps * factor
+            before = flow.remaining_bytes
+            sent = flow.transfer(achieved, dt)
+
+            signal = self._feedback_for(flow, offered, now)
+            flow.enqueue_feedback(signal, now + flow.base_rtt_s)
+            flow.deliver_due_feedback(now)
+            flow.cc.on_interval(dt, now)
+
+            if flow.completed:
+                # locate the completion instant inside the step
+                would_send = achieved * dt / 8.0
+                fraction = before / would_send if would_send > 0 else 1.0
+                fraction = min(1.0, max(0.0, fraction))
+                flow.mark_finished(now + fraction * dt)
+                finished.append(flow)
+
+        for flow in finished:
+            self._active.remove(flow)
+            self.collector.record(flow)
+
+        if not self._active and self._pending_arrivals == 0 and not self._stopped:
+            self._stopped = True
+            self.engine.stop()
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _reroute_flow(self, flow: Flow, now: float) -> None:
+        """Re-resolve the path of a flow that lost a link (fast-failover)."""
+        try:
+            new_path = self.network.resolve_path(flow.demand, now)
+        except Exception:
+            # no alternative route at all: leave the flow pinned; it will
+            # resume if the link recovers
+            return
+        if any(not link.up for link in new_path):
+            return
+        flow.path = tuple(new_path)
+        flow.base_rtt_s = 2.0 * sum(link.delay_s for link in new_path)
+
+    def _feedback_for(
+        self, flow: Flow, offered: Dict[RuntimeLink, float], now: float
+    ) -> FeedbackSignal:
+        not_marked = 1.0
+        max_util = 0.0
+        queue_delay = 0.0
+        for link in flow.path:
+            not_marked *= 1.0 - link.ecn_mark_probability()
+            load = offered.get(link, 0.0)
+            if link.cap_bps > 0:
+                max_util = max(max_util, load / link.cap_bps)
+            queue_delay += link.queueing_delay_s()
+        return FeedbackSignal(
+            generated_s=now,
+            ecn_fraction=1.0 - not_marked,
+            max_utilization=max_util,
+            rtt_s=flow.base_rtt_s + queue_delay,
+            queue_delay_s=queue_delay,
+        )
+
+    def _build_result(self) -> SimulationResult:
+        duration = self.engine.now
+        stats = []
+        for link in self.network.inter_dc_links:
+            stats.append(
+                LinkStats(
+                    key=link.key,
+                    cap_bps=link.cap_bps,
+                    carried_bytes=link.carried_bytes,
+                    dropped_bytes=link.dropped_bytes,
+                    peak_queue_bytes=link.peak_queue_bytes,
+                    utilization=link.utilization(duration),
+                )
+            )
+        decisions = sum(
+            len(switch.decisions) for switch in self.network.switches.values()
+        )
+        return SimulationResult(
+            records=self.collector.records,
+            link_stats=stats,
+            duration_s=duration,
+            unfinished_flows=len(self._active),
+            routing_decisions=decisions,
+            monitor_samples=self.monitor.samples_taken,
+            trace=self._trace,
+        )

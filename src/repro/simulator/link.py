@@ -1,0 +1,152 @@
+"""Runtime state of a directed link (an egress port with a queue).
+
+Each :class:`RuntimeLink` corresponds to one directed
+:class:`~repro.topology.graph.LinkSpec`.  The transmitting node owns the
+egress queue; the fluid simulation integrates (offered load − capacity) into
+the queue backlog every update step, applies DCQCN-style RED/ECN marking and
+tracks carried bytes for utilisation statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..topology.graph import LinkSpec
+
+__all__ = ["RuntimeLink"]
+
+
+class RuntimeLink:
+    """Mutable runtime state layered over a static :class:`LinkSpec`."""
+
+    def __init__(
+        self,
+        spec: LinkSpec,
+        ecn_kmin_fraction: float = 0.05,
+        ecn_kmax_fraction: float = 0.5,
+        ecn_pmax: float = 0.2,
+    ) -> None:
+        self.spec = spec
+        self.queue_bytes: float = 0.0
+        self.peak_queue_bytes: float = 0.0
+        self.carried_bytes: float = 0.0
+        self.dropped_bytes: float = 0.0
+        #: offered load (bps) during the most recent update step
+        self.offered_bps: float = 0.0
+        #: True while the port is administratively/physically up
+        self.up: bool = True
+        self._ecn_kmin = ecn_kmin_fraction * spec.buffer_bytes
+        self._ecn_kmax = ecn_kmax_fraction * spec.buffer_bytes
+        self._ecn_pmax = ecn_pmax
+
+    # ------------------------------------------------------------------ #
+    # identity / static attributes
+    # ------------------------------------------------------------------ #
+    @property
+    def key(self) -> tuple:
+        """(src, dst) identity of the underlying directed link."""
+        return self.spec.key
+
+    @property
+    def cap_bps(self) -> float:
+        """Provisioned capacity in bits per second."""
+        return self.spec.cap_bps
+
+    @property
+    def delay_s(self) -> float:
+        """One-way propagation delay in seconds."""
+        return self.spec.delay_s
+
+    @property
+    def buffer_bytes(self) -> int:
+        """Egress buffer size in bytes."""
+        return self.spec.buffer_bytes
+
+    # ------------------------------------------------------------------ #
+    # fluid update
+    # ------------------------------------------------------------------ #
+    def integrate(self, offered_bps: float, dt: float) -> float:
+        """Advance the egress queue by one update step.
+
+        Args:
+            offered_bps: total arrival rate at the port during the step.
+            dt: step length in seconds.
+
+        Returns:
+            The fraction of offered traffic actually carried (1.0 when the
+            buffer absorbed everything; less than 1.0 only when the buffer
+            overflowed and bytes were dropped).
+        """
+        if not self.up:
+            # a dead port carries nothing; traffic offered to it is lost
+            self.offered_bps = offered_bps
+            self.dropped_bytes += offered_bps * dt / 8.0
+            return 0.0
+
+        self.offered_bps = offered_bps
+        arriving_bytes = offered_bps * dt / 8.0
+        draining_bytes = self.cap_bps * dt / 8.0
+
+        carried = min(arriving_bytes + self.queue_bytes, draining_bytes)
+        new_queue = self.queue_bytes + arriving_bytes - carried
+        dropped = 0.0
+        if new_queue > self.buffer_bytes:
+            dropped = new_queue - self.buffer_bytes
+            new_queue = float(self.buffer_bytes)
+        self.queue_bytes = max(0.0, new_queue)
+        self.peak_queue_bytes = max(self.peak_queue_bytes, self.queue_bytes)
+        self.carried_bytes += carried
+        self.dropped_bytes += dropped
+
+        if arriving_bytes <= 0:
+            return 1.0
+        accepted = arriving_bytes - dropped
+        return max(0.0, min(1.0, accepted / arriving_bytes))
+
+    # ------------------------------------------------------------------ #
+    # congestion signals
+    # ------------------------------------------------------------------ #
+    def ecn_mark_probability(self) -> float:
+        """RED/ECN marking probability for the current queue occupancy."""
+        q = self.queue_bytes
+        if q <= self._ecn_kmin:
+            return 0.0
+        if q >= self._ecn_kmax:
+            return 1.0
+        span = self._ecn_kmax - self._ecn_kmin
+        if span <= 0:
+            return 1.0
+        return self._ecn_pmax * (q - self._ecn_kmin) / span
+
+    def queueing_delay_s(self) -> float:
+        """Time a newly arriving byte waits behind the current backlog."""
+        return self.queue_bytes * 8.0 / self.cap_bps
+
+    def utilization(self, elapsed_s: float) -> float:
+        """Average utilisation (carried bits / capacity) since reset."""
+        if elapsed_s <= 0:
+            return 0.0
+        return min(1.0, (self.carried_bytes * 8.0) / (self.cap_bps * elapsed_s))
+
+    # ------------------------------------------------------------------ #
+    # fault injection
+    # ------------------------------------------------------------------ #
+    def fail(self) -> None:
+        """Take the port down (data-plane fast-failover experiments)."""
+        self.up = False
+
+    def recover(self) -> None:
+        """Bring the port back up."""
+        self.up = True
+
+    def reset_counters(self) -> None:
+        """Zero carried/dropped byte counters (keeps queue state)."""
+        self.carried_bytes = 0.0
+        self.dropped_bytes = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RuntimeLink({self.spec.src}->{self.spec.dst}, "
+            f"q={self.queue_bytes:.0f}B, up={self.up})"
+        )

@@ -1,0 +1,84 @@
+"""Queue monitoring and time-series tracing.
+
+The paper's LCMP prototype runs a lightweight monitor routine on each DCI
+switch that samples per-port queue depth at a modest cadence and feeds the
+on-switch congestion estimator.  :class:`QueueMonitor` reproduces that: it is
+driven by a periodic engine event and forwards
+:class:`~repro.simulator.switch.PortSample` objects to each switch's router.
+
+:class:`LinkTrace` optionally records per-link time series (queue depth,
+utilisation) for the motivation figure (Fig. 1b) and for debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .link import RuntimeLink
+from .network import RuntimeNetwork
+
+__all__ = ["QueueMonitor", "LinkTrace", "LinkTraceSample"]
+
+
+@dataclass(frozen=True)
+class LinkTraceSample:
+    """One point of a per-link time series."""
+
+    time_s: float
+    queue_bytes: float
+    carried_bytes: float
+    offered_bps: float
+
+
+class LinkTrace:
+    """Records per-link time series at the monitoring cadence."""
+
+    def __init__(self) -> None:
+        self._series: Dict[Tuple[str, str], List[LinkTraceSample]] = {}
+
+    def observe(self, link: RuntimeLink, now: float) -> None:
+        """Append one sample for ``link`` at time ``now``."""
+        self._series.setdefault(link.key, []).append(
+            LinkTraceSample(
+                time_s=now,
+                queue_bytes=link.queue_bytes,
+                carried_bytes=link.carried_bytes,
+                offered_bps=link.offered_bps,
+            )
+        )
+
+    def series(self, key: Tuple[str, str]) -> List[LinkTraceSample]:
+        """Time series for a directed link key, empty when never observed."""
+        return list(self._series.get(key, []))
+
+    def keys(self) -> List[Tuple[str, str]]:
+        """All link keys with recorded samples."""
+        return list(self._series.keys())
+
+    def peak_queue(self, key: Tuple[str, str]) -> float:
+        """Maximum observed queue depth for a link."""
+        samples = self._series.get(key, [])
+        return max((s.queue_bytes for s in samples), default=0.0)
+
+
+class QueueMonitor:
+    """Drives per-switch port sampling and optional link tracing."""
+
+    def __init__(self, network: RuntimeNetwork, trace: Optional[LinkTrace] = None) -> None:
+        self._network = network
+        self._trace = trace
+        self.samples_taken = 0
+
+    def sample(self, now: float) -> None:
+        """Sample every DCI port once; called by the periodic engine event."""
+        self._network.sample_all_ports(now)
+        self.samples_taken += 1
+        if self._trace is not None:
+            for link in self._network.inter_dc_links:
+                self._trace.observe(link, now)
+
+    @property
+    def trace(self) -> Optional[LinkTrace]:
+        """The attached trace, if any."""
+        return self._trace

@@ -1,0 +1,239 @@
+"""Runtime network: topology + routers instantiated for simulation.
+
+The :class:`RuntimeNetwork` owns every mutable piece of network state: one
+:class:`~repro.simulator.link.RuntimeLink` per directed inter-DC link, one
+:class:`~repro.simulator.switch.DCISwitch` (with its router instance) per
+datacenter, and lazily created host NIC uplinks/downlinks.  It resolves the
+path of a new flow by walking DCI switches hop by hop, asking each switch's
+router for the next hop — the distributed decision process the paper
+describes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..topology.graph import Topology, TopologyError
+from ..topology.paths import CandidatePath, PathSet, shortest_delay_path
+from .config import SimulationConfig
+from .flow import FlowDemand
+from .link import RuntimeLink
+from .switch import DCISwitch
+
+__all__ = ["RuntimeNetwork", "RoutingLoopError"]
+
+#: maximum DCI hops a resolved path may take before we declare a loop
+_MAX_RESOLVE_HOPS = 32
+
+
+class RoutingLoopError(RuntimeError):
+    """Raised when hop-by-hop resolution fails to reach the destination."""
+
+
+class RuntimeNetwork:
+    """Mutable simulation-time view of a topology plus its routers."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        pathset: PathSet,
+        router_factory: Callable[[str], object],
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        """Instantiate runtime state.
+
+        Args:
+            topology: static topology.
+            pathset: precomputed candidate paths (control-plane view).
+            router_factory: callable mapping a DC name to a fresh router
+                instance (each DCI switch gets its own router — the scheme is
+                distributed, there is no shared state between switches unless
+                a router implementation chooses to share it).
+            config: simulation config (ECN profile for the links).
+        """
+        self.topology = topology
+        self.pathset = pathset
+        self.config = config or SimulationConfig()
+
+        self._links: Dict[Tuple[str, str], RuntimeLink] = {}
+        for spec in topology.inter_dc_links():
+            self._links[spec.key] = RuntimeLink(
+                spec,
+                ecn_kmin_fraction=self.config.ecn_kmin_fraction,
+                ecn_kmax_fraction=self.config.ecn_kmax_fraction,
+                ecn_pmax=self.config.ecn_pmax,
+            )
+
+        self._switches: Dict[str, DCISwitch] = {}
+        for dc in topology.dcs:
+            switch = DCISwitch(dc, router_factory(dc))
+            for neighbor in topology.neighbors(dc):
+                if topology.nodes[neighbor].kind == "dci":
+                    link = self._links.get((dc, neighbor))
+                    if link is not None:
+                        switch.add_port(neighbor, link)
+            self._switches[dc] = switch
+
+        self._host_links: Dict[Tuple[str, int, str], RuntimeLink] = {}
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def switches(self) -> Dict[str, DCISwitch]:
+        """DCI switches keyed by DC name."""
+        return dict(self._switches)
+
+    @property
+    def inter_dc_links(self) -> List[RuntimeLink]:
+        """All runtime inter-DC links."""
+        return list(self._links.values())
+
+    def link(self, src: str, dst: str) -> RuntimeLink:
+        """The runtime inter-DC link from ``src`` to ``dst``."""
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise TopologyError(f"no runtime link {src!r}->{dst!r}") from None
+
+    def switch(self, dc: str) -> DCISwitch:
+        """The DCI switch of datacenter ``dc``."""
+        return self._switches[dc]
+
+    def all_active_links(self) -> List[RuntimeLink]:
+        """Every runtime link that may carry traffic (inter-DC + host NICs)."""
+        return list(self._links.values()) + list(self._host_links.values())
+
+    # ------------------------------------------------------------------ #
+    # host NIC links (lazily created)
+    # ------------------------------------------------------------------ #
+    def host_link(self, dc: str, host_idx: int, direction: str) -> RuntimeLink:
+        """The NIC uplink (``"up"``) or downlink (``"down"``) of a host.
+
+        Host links model the access path between a server and its DCI
+        switch: the NIC line rate bounds the flow and contention between
+        co-located flows shows up as queueing at this link.
+        """
+        if direction not in ("up", "down"):
+            raise ValueError("direction must be 'up' or 'down'")
+        key = (dc, host_idx, direction)
+        if key in self._host_links:
+            return self._host_links[key]
+
+        group = self.topology.host_groups.get(dc)
+        if group is None:
+            raise TopologyError(f"datacenter {dc!r} has no hosts")
+        if not 0 <= host_idx < group.count:
+            raise TopologyError(f"host index {host_idx} out of range for {dc!r}")
+
+        host_name = f"{dc}/h{host_idx}"
+        if direction == "up":
+            src, dst = host_name, dc
+        else:
+            src, dst = dc, host_name
+        from ..topology.graph import LinkSpec  # local import to avoid cycle at module load
+
+        spec = LinkSpec(
+            src=src,
+            dst=dst,
+            cap_bps=group.nic_bps,
+            delay_s=group.access_delay_s,
+            buffer_bytes=Topology.DEFAULT_INTRA_BUFFER,
+            inter_dc=False,
+        )
+        link = RuntimeLink(
+            spec,
+            ecn_kmin_fraction=self.config.ecn_kmin_fraction,
+            ecn_kmax_fraction=self.config.ecn_kmax_fraction,
+            ecn_pmax=self.config.ecn_pmax,
+        )
+        self._host_links[key] = link
+        return link
+
+    # ------------------------------------------------------------------ #
+    # path resolution (the distributed routing walk)
+    # ------------------------------------------------------------------ #
+    def resolve_path(self, demand: FlowDemand, now: float) -> List[RuntimeLink]:
+        """Resolve the full path of a new flow.
+
+        The walk starts at the source DC's DCI switch.  At every DCI switch
+        the locally attached router picks one candidate route toward the
+        destination (only the *first hop* of that candidate is committed —
+        the next switch re-decides with its own local view), reproducing the
+        paper's distributed per-switch decision model.  Visited DCs are
+        excluded from candidate first hops to guarantee loop freedom; if that
+        leaves no candidate the walk falls back to the shortest-delay path
+        from the current DC.
+
+        Returns:
+            Ordered runtime links: source NIC uplink, inter-DC links,
+            destination NIC downlink.
+        """
+        links: List[RuntimeLink] = [
+            self.host_link(demand.src_dc, demand.src_host, "up")
+        ]
+
+        if demand.src_dc != demand.dst_dc:
+            links.extend(self._resolve_inter_dc(demand, now))
+
+        links.append(self.host_link(demand.dst_dc, demand.dst_host, "down"))
+        return links
+
+    def _resolve_inter_dc(self, demand: FlowDemand, now: float) -> List[RuntimeLink]:
+        current = demand.src_dc
+        dst = demand.dst_dc
+        visited = {current}
+        hops: List[RuntimeLink] = []
+
+        for _ in range(_MAX_RESOLVE_HOPS):
+            if current == dst:
+                return hops
+            candidates = [
+                c
+                for c in self.pathset.candidates(current, dst)
+                if c.first_hop not in visited
+            ]
+            if candidates:
+                switch = self._switches[current]
+                chosen = switch.route_flow(dst, candidates, demand, now)
+                next_dc = chosen.first_hop
+            else:
+                # no loop-free candidate left: commit to the shortest-delay
+                # remainder computed over the static topology
+                remainder = shortest_delay_path(self.topology, current, dst)
+                if remainder is None:
+                    raise RoutingLoopError(
+                        f"flow {demand.flow_id}: no route from {current} to {dst}"
+                    )
+                for spec in remainder.links:
+                    hops.append(self._links[spec.key])
+                return hops
+            hops.append(self._links[(current, next_dc)])
+            visited.add(next_dc)
+            current = next_dc
+
+        raise RoutingLoopError(
+            f"flow {demand.flow_id}: exceeded {_MAX_RESOLVE_HOPS} DCI hops "
+            f"resolving {demand.src_dc}->{demand.dst_dc}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # telemetry helpers
+    # ------------------------------------------------------------------ #
+    def sample_all_ports(self, now: float) -> None:
+        """Run the queue monitor on every DCI switch."""
+        for switch in self._switches.values():
+            switch.sample_ports(now)
+
+    def tick_all(self, now: float) -> None:
+        """Run the periodic tick (GC, control loops) on every switch."""
+        for switch in self._switches.values():
+            switch.tick(now)
+
+    def fail_link(self, src: str, dst: str) -> None:
+        """Fail the directed inter-DC link ``src -> dst`` (fault injection)."""
+        self.link(src, dst).fail()
+
+    def recover_link(self, src: str, dst: str) -> None:
+        """Recover a previously failed link."""
+        self.link(src, dst).recover()

@@ -1,0 +1,171 @@
+"""DCI (datacenter-interconnect) switch runtime model.
+
+Each datacenter has one DCI switch.  The switch owns the egress ports toward
+neighbouring datacenters (one :class:`~repro.simulator.link.RuntimeLink` per
+neighbour), hosts a routing algorithm instance (ECMP, UCMP, RedTE or LCMP)
+and exposes the queue-monitor sampling hook that feeds the router's
+congestion estimator.
+
+Only the *first packet* of a flow consults the router (per-flow stickiness);
+in the fluid model that corresponds to the single routing decision taken at
+flow-arrival time.  Port liveness is tracked here so that data-plane
+fast-failover (paper §3.4) can exclude dead ports before the router sees the
+candidate list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..topology.paths import CandidatePath
+from .flow import FlowDemand
+from .link import RuntimeLink
+
+__all__ = ["PortSample", "DCISwitch", "RoutingDecision"]
+
+
+@dataclass(frozen=True)
+class PortSample:
+    """One queue-monitor observation of a DCI egress port.
+
+    Attributes:
+        switch: name of the sampling DCI switch.
+        next_dc: neighbouring datacenter the port leads to.
+        link_key: (src, dst) of the underlying directed link.
+        queue_bytes: instantaneous egress-queue occupancy.
+        carried_bytes: cumulative bytes carried by the port.
+        cap_bps: provisioned capacity of the port.
+        buffer_bytes: egress buffer size.
+        up: port liveness.
+        time_s: sampling time.
+    """
+
+    switch: str
+    next_dc: str
+    link_key: tuple
+    queue_bytes: float
+    carried_bytes: float
+    cap_bps: float
+    buffer_bytes: int
+    up: bool
+    time_s: float
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """Outcome of one routing decision at one DCI switch."""
+
+    switch: str
+    flow_id: int
+    dst_dc: str
+    chosen: CandidatePath
+    num_candidates: int
+    fallback: bool
+    time_s: float
+
+
+class DCISwitch:
+    """Runtime DCI switch: ports + router + decision bookkeeping."""
+
+    def __init__(self, dc: str, router) -> None:
+        """Create the switch for datacenter ``dc`` running ``router``.
+
+        The router must implement the :class:`repro.routing.base.Router`
+        interface; it is attached (``router.attach(self)``) so it can learn
+        the switch name and port set.
+        """
+        self.dc = dc
+        self.router = router
+        self._ports: Dict[str, RuntimeLink] = {}
+        self.decisions: List[RoutingDecision] = []
+        router.attach(self)
+
+    # ------------------------------------------------------------------ #
+    # ports
+    # ------------------------------------------------------------------ #
+    def add_port(self, next_dc: str, link: RuntimeLink) -> None:
+        """Register the egress port toward ``next_dc``."""
+        self._ports[next_dc] = link
+
+    @property
+    def ports(self) -> Dict[str, RuntimeLink]:
+        """Mapping of neighbouring DC name to the egress link."""
+        return dict(self._ports)
+
+    def port_to(self, next_dc: str) -> Optional[RuntimeLink]:
+        """The egress link toward ``next_dc``, or ``None``."""
+        return self._ports.get(next_dc)
+
+    def port_up(self, next_dc: str) -> bool:
+        """Liveness of the port toward ``next_dc`` (False if unknown)."""
+        link = self._ports.get(next_dc)
+        return bool(link and link.up)
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def route_flow(
+        self,
+        dst_dc: str,
+        candidates: Sequence[CandidatePath],
+        demand: FlowDemand,
+        now: float,
+    ) -> CandidatePath:
+        """Pick the candidate route for a new flow toward ``dst_dc``.
+
+        Dead egress ports are excluded before the router runs (data-plane
+        fast-failover); when every port is dead the full candidate list is
+        passed through so the caller can at least make progress and record
+        the loss downstream.
+
+        Raises:
+            ValueError: when ``candidates`` is empty.
+        """
+        if not candidates:
+            raise ValueError(f"{self.dc}: no candidate routes toward {dst_dc}")
+        live = [c for c in candidates if self.port_up(c.first_hop)]
+        fallback = not live
+        usable = live if live else list(candidates)
+        chosen = self.router.select(dst_dc, usable, demand, now)
+        self.decisions.append(
+            RoutingDecision(
+                switch=self.dc,
+                flow_id=demand.flow_id,
+                dst_dc=dst_dc,
+                chosen=chosen,
+                num_candidates=len(usable),
+                fallback=fallback,
+                time_s=now,
+            )
+        )
+        return chosen
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+    # ------------------------------------------------------------------ #
+    def sample_ports(self, now: float) -> List[PortSample]:
+        """Sample every egress port and feed the router's estimator."""
+        samples = []
+        for next_dc, link in self._ports.items():
+            sample = PortSample(
+                switch=self.dc,
+                next_dc=next_dc,
+                link_key=link.key,
+                queue_bytes=link.queue_bytes,
+                carried_bytes=link.carried_bytes,
+                cap_bps=link.cap_bps,
+                buffer_bytes=link.buffer_bytes,
+                up=link.up,
+                time_s=now,
+            )
+            samples.append(sample)
+            self.router.on_port_sample(sample, now)
+        return samples
+
+    def tick(self, now: float) -> None:
+        """Periodic housekeeping (router GC, control loops)."""
+        self.router.on_tick(now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DCISwitch({self.dc}, ports={sorted(self._ports)}, router={self.router.name})"

@@ -1,0 +1,42 @@
+"""Inter-datacenter topology models and candidate-path enumeration.
+
+Public entry points:
+
+* :class:`~repro.topology.graph.Topology` — the topology data model.
+* :func:`~repro.topology.testbed8.build_testbed8` — the 8-DC evaluation
+  topology (paper Fig. 1a / 4a).
+* :func:`~repro.topology.bso13.build_bso13` — the 13-DC Europe-spanning
+  topology (paper Fig. 4b).
+* :class:`~repro.topology.paths.PathSet` — candidate paths per DC pair.
+"""
+
+from .graph import GBPS, MBPS, MS, US, HostGroup, LinkSpec, Node, NodeKind, Topology, TopologyError
+from .leaf_spine import PodSpec, build_pod
+from .paths import CandidatePath, PathSet, enumerate_paths, shortest_delay_path
+from .testbed8 import RELAY_PLAN, build_testbed8, testbed8_pathset
+from .bso13 import BSO_EDGES, build_bso13, bso13_pathset
+
+__all__ = [
+    "GBPS",
+    "MBPS",
+    "MS",
+    "US",
+    "Topology",
+    "TopologyError",
+    "Node",
+    "NodeKind",
+    "LinkSpec",
+    "HostGroup",
+    "PodSpec",
+    "build_pod",
+    "CandidatePath",
+    "PathSet",
+    "enumerate_paths",
+    "shortest_delay_path",
+    "RELAY_PLAN",
+    "build_testbed8",
+    "testbed8_pathset",
+    "BSO_EDGES",
+    "build_bso13",
+    "bso13_pathset",
+]

@@ -1,0 +1,357 @@
+"""Topology data model for inter-datacenter networks.
+
+The topology layer describes the *static* properties of the network: which
+datacenters exist, how they are interconnected (directed inter-DC links with
+provisioned capacity and one-way propagation delay), and how hosts inside a
+datacenter reach the DCI (datacenter-interconnect) switch.
+
+The simulator (:mod:`repro.simulator`) instantiates runtime state (queues,
+flows, monitors) from a :class:`Topology`; the LCMP control plane
+(:mod:`repro.core.control_plane`) reads the same object to precompute
+path-quality scores.
+
+Units used throughout the project:
+
+* capacity — bits per second (``cap_bps``)
+* propagation delay — seconds (``delay_s``)
+* buffer size — bytes
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "GBPS",
+    "MBPS",
+    "MS",
+    "US",
+    "NodeKind",
+    "Node",
+    "LinkSpec",
+    "HostGroup",
+    "Topology",
+    "TopologyError",
+]
+
+#: one gigabit per second, in bits per second
+GBPS = 1_000_000_000
+#: one megabit per second, in bits per second
+MBPS = 1_000_000
+#: one millisecond, in seconds
+MS = 1e-3
+#: one microsecond, in seconds
+US = 1e-6
+
+
+class TopologyError(ValueError):
+    """Raised when a topology is malformed (unknown node, duplicate link...)."""
+
+
+class NodeKind:
+    """Enumeration of node roles used by the topology layer."""
+
+    DCI = "dci"
+    SPINE = "spine"
+    LEAF = "leaf"
+    HOST = "host"
+
+    ALL = (DCI, SPINE, LEAF, HOST)
+
+
+@dataclass(frozen=True)
+class Node:
+    """A node in the topology.
+
+    Attributes:
+        name: globally unique node name, e.g. ``"DC3"`` or ``"DC3/leaf0"``.
+        kind: one of :class:`NodeKind`.
+        dc: name of the datacenter this node belongs to (for DCI switches this
+            equals ``name``).
+    """
+
+    name: str
+    kind: str
+    dc: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in NodeKind.ALL:
+            raise TopologyError(f"unknown node kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A directed link between two nodes.
+
+    Attributes:
+        src: name of the transmitting node (owns the egress queue).
+        dst: name of the receiving node.
+        cap_bps: provisioned capacity in bits per second.
+        delay_s: one-way propagation delay in seconds.
+        buffer_bytes: egress buffer size in bytes; ``None`` means the builder
+            default (see :meth:`Topology.add_link`).
+        inter_dc: True when the link crosses a datacenter boundary.
+    """
+
+    src: str
+    dst: str
+    cap_bps: float
+    delay_s: float
+    buffer_bytes: int
+    inter_dc: bool
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """(src, dst) pair identifying this directed link."""
+        return (self.src, self.dst)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        flavour = "inter" if self.inter_dc else "intra"
+        return (
+            f"{self.src}->{self.dst} ({self.cap_bps / GBPS:g} Gbps, "
+            f"{self.delay_s * 1e3:g} ms, {flavour}-DC)"
+        )
+
+
+@dataclass
+class HostGroup:
+    """A group of identical hosts attached to one datacenter.
+
+    The evaluation topologies attach 16 servers per DC behind a leaf/spine
+    fabric.  For flow-level simulation the hosts matter only as traffic
+    sources/sinks with a NIC rate limit, so a group records the count, NIC
+    rate and the access delay from host to the DCI switch.
+    """
+
+    dc: str
+    count: int
+    nic_bps: float
+    access_delay_s: float
+
+
+class Topology:
+    """A mutable builder + immutable-ish view of an inter-DC network.
+
+    A topology contains datacenters (each represented by a DCI switch node),
+    optional intra-DC fabric nodes, directed links, and per-DC host groups.
+
+    Example:
+        >>> topo = Topology("demo")
+        >>> topo.add_dc("DC1"); topo.add_dc("DC2")
+        >>> topo.add_inter_dc_link("DC1", "DC2", cap_bps=100 * GBPS, delay_s=5 * MS)
+        >>> topo.add_hosts("DC1", count=4, nic_bps=100 * GBPS)
+        >>> topo.add_hosts("DC2", count=4, nic_bps=100 * GBPS)
+        >>> sorted(topo.dcs)
+        ['DC1', 'DC2']
+    """
+
+    #: default egress buffer for intra-DC links (shallow, commodity switch)
+    DEFAULT_INTRA_BUFFER = 16 * 1024 * 1024
+    #: default egress buffer for inter-DC links (deep, long-haul provisioning)
+    DEFAULT_INTER_BUFFER = 512 * 1024 * 1024
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        self._links: Dict[Tuple[str, str], LinkSpec] = {}
+        self._host_groups: Dict[str, HostGroup] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, name: str, kind: str, dc: Optional[str] = None) -> Node:
+        """Add a node; returns the created :class:`Node`.
+
+        Raises:
+            TopologyError: if a node with the same name already exists.
+        """
+        if name in self._nodes:
+            raise TopologyError(f"duplicate node {name!r}")
+        node = Node(name=name, kind=kind, dc=dc or name)
+        self._nodes[name] = node
+        return node
+
+    def add_dc(self, name: str) -> Node:
+        """Add a datacenter, represented by its DCI switch node."""
+        return self.add_node(name, NodeKind.DCI, dc=name)
+
+    def add_hosts(
+        self,
+        dc: str,
+        count: int,
+        nic_bps: float,
+        access_delay_s: float = 2 * US,
+    ) -> HostGroup:
+        """Attach ``count`` hosts with ``nic_bps`` NICs to datacenter ``dc``.
+
+        The access delay models the (few microsecond) path through the
+        intra-DC leaf/spine fabric up to the DCI switch.
+        """
+        self._require_node(dc)
+        if count <= 0:
+            raise TopologyError("host count must be positive")
+        if nic_bps <= 0:
+            raise TopologyError("NIC rate must be positive")
+        group = HostGroup(dc=dc, count=count, nic_bps=nic_bps, access_delay_s=access_delay_s)
+        self._host_groups[dc] = group
+        return group
+
+    def add_link(
+        self,
+        src: str,
+        dst: str,
+        cap_bps: float,
+        delay_s: float,
+        buffer_bytes: Optional[int] = None,
+        inter_dc: Optional[bool] = None,
+    ) -> LinkSpec:
+        """Add a single directed link from ``src`` to ``dst``."""
+        self._require_node(src)
+        self._require_node(dst)
+        if cap_bps <= 0:
+            raise TopologyError("link capacity must be positive")
+        if delay_s < 0:
+            raise TopologyError("link delay must be non-negative")
+        if (src, dst) in self._links:
+            raise TopologyError(f"duplicate link {src!r}->{dst!r}")
+        if inter_dc is None:
+            inter_dc = self._nodes[src].dc != self._nodes[dst].dc
+        if buffer_bytes is None:
+            buffer_bytes = (
+                self.DEFAULT_INTER_BUFFER if inter_dc else self.DEFAULT_INTRA_BUFFER
+            )
+        spec = LinkSpec(
+            src=src,
+            dst=dst,
+            cap_bps=float(cap_bps),
+            delay_s=float(delay_s),
+            buffer_bytes=int(buffer_bytes),
+            inter_dc=bool(inter_dc),
+        )
+        self._links[(src, dst)] = spec
+        return spec
+
+    def add_inter_dc_link(
+        self,
+        dc_a: str,
+        dc_b: str,
+        cap_bps: float,
+        delay_s: float,
+        buffer_bytes: Optional[int] = None,
+    ) -> Tuple[LinkSpec, LinkSpec]:
+        """Add a bidirectional inter-DC link (two directed links)."""
+        fwd = self.add_link(dc_a, dc_b, cap_bps, delay_s, buffer_bytes, inter_dc=True)
+        rev = self.add_link(dc_b, dc_a, cap_bps, delay_s, buffer_bytes, inter_dc=True)
+        return fwd, rev
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> Dict[str, Node]:
+        """Mapping of node name to :class:`Node`."""
+        return dict(self._nodes)
+
+    @property
+    def links(self) -> List[LinkSpec]:
+        """All directed links, in insertion order."""
+        return list(self._links.values())
+
+    @property
+    def dcs(self) -> List[str]:
+        """Names of all datacenters (DCI switch nodes), in insertion order."""
+        return [n.name for n in self._nodes.values() if n.kind == NodeKind.DCI]
+
+    @property
+    def host_groups(self) -> Dict[str, HostGroup]:
+        """Per-DC host groups."""
+        return dict(self._host_groups)
+
+    def link(self, src: str, dst: str) -> LinkSpec:
+        """Return the directed link from ``src`` to ``dst``.
+
+        Raises:
+            TopologyError: if no such link exists.
+        """
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise TopologyError(f"no link {src!r}->{dst!r}") from None
+
+    def has_link(self, src: str, dst: str) -> bool:
+        """True when a directed link from ``src`` to ``dst`` exists."""
+        return (src, dst) in self._links
+
+    def neighbors(self, node: str) -> List[str]:
+        """Names of nodes reachable over one directed link from ``node``."""
+        self._require_node(node)
+        return [dst for (src, dst) in self._links if src == node]
+
+    def inter_dc_links(self) -> List[LinkSpec]:
+        """All directed inter-DC links."""
+        return [l for l in self._links.values() if l.inter_dc]
+
+    def dc_pairs(self, ordered: bool = True) -> Iterator[Tuple[str, str]]:
+        """Iterate over distinct (src DC, dst DC) pairs.
+
+        Args:
+            ordered: when True yields both (a, b) and (b, a); otherwise only
+                unordered pairs with ``a < b`` in insertion order.
+        """
+        dcs = self.dcs
+        if ordered:
+            for a, b in itertools.permutations(dcs, 2):
+                yield a, b
+        else:
+            for a, b in itertools.combinations(dcs, 2):
+                yield a, b
+
+    def hosts_in(self, dc: str) -> int:
+        """Number of hosts attached to ``dc`` (0 when no host group)."""
+        group = self._host_groups.get(dc)
+        return group.count if group else 0
+
+    def validate(self) -> None:
+        """Check structural invariants of the topology.
+
+        Raises:
+            TopologyError: when a DC is unreachable from another DC, a link
+                references an unknown node, or no DCs are defined.
+        """
+        dcs = self.dcs
+        if not dcs:
+            raise TopologyError("topology has no datacenters")
+        for spec in self._links.values():
+            if spec.src not in self._nodes or spec.dst not in self._nodes:
+                raise TopologyError(f"link {spec} references unknown node")
+        # connectivity over inter-DC links (treat as undirected for the check)
+        adjacency: Dict[str, set] = {dc: set() for dc in dcs}
+        for spec in self.inter_dc_links():
+            if spec.src in adjacency and spec.dst in adjacency:
+                adjacency[spec.src].add(spec.dst)
+        reached = {dcs[0]}
+        frontier = [dcs[0]]
+        while frontier:
+            current = frontier.pop()
+            for nxt in adjacency[current]:
+                if nxt not in reached:
+                    reached.add(nxt)
+                    frontier.append(nxt)
+        missing = set(dcs) - reached
+        if missing:
+            raise TopologyError(f"datacenters unreachable from {dcs[0]}: {sorted(missing)}")
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _require_node(self, name: str) -> None:
+        if name not in self._nodes:
+            raise TopologyError(f"unknown node {name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology({self.name!r}, dcs={len(self.dcs)}, "
+            f"links={len(self._links)}, hosts={sum(g.count for g in self._host_groups.values())})"
+        )

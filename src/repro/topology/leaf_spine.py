@@ -1,0 +1,83 @@
+"""Intra-DC leaf-spine pod builder.
+
+The paper's testbed attaches a small leaf-spine fabric to each DCI switch:
+1 DCI switch, 2 spine switches, 4 leaf switches and 16 servers (4 per leaf).
+Intra-DC links run at 100 Gbps with 1 us propagation delay and the
+DCI-to-spine links at 400 Gbps so the intra-DC fabric is never an artificial
+bottleneck.
+
+The flow-level experiments condense the pod into a host group (NIC rate +
+access delay) because the fabric is non-blocking by construction; this module
+exists so the topology layer can also express the full structure, which the
+structural tests exercise and which downstream users can extend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .graph import GBPS, US, NodeKind, Topology
+
+__all__ = ["PodSpec", "build_pod"]
+
+
+@dataclass(frozen=True)
+class PodSpec:
+    """Dimensions of an intra-DC leaf-spine pod."""
+
+    spines: int = 2
+    leaves: int = 4
+    hosts_per_leaf: int = 4
+    host_link_bps: float = 100 * GBPS
+    leaf_spine_bps: float = 100 * GBPS
+    spine_dci_bps: float = 400 * GBPS
+    link_delay_s: float = 1 * US
+
+
+def build_pod(topology: Topology, dc: str, spec: PodSpec | None = None) -> List[str]:
+    """Expand the full leaf-spine pod under datacenter ``dc``.
+
+    Creates spine, leaf and host nodes named ``"{dc}/spine{i}"``,
+    ``"{dc}/leaf{i}"`` and ``"{dc}/host{i}"`` and wires them with
+    bidirectional links: host-leaf, leaf-spine (full bipartite) and
+    spine-DCI.
+
+    Args:
+        topology: topology to extend; must already contain DC ``dc``.
+        dc: the datacenter (DCI switch node) name.
+        spec: pod dimensions; defaults to the paper's 2x4x16 pod.
+
+    Returns:
+        The names of the created host nodes.
+    """
+    spec = spec or PodSpec()
+    spine_names = []
+    for i in range(spec.spines):
+        name = f"{dc}/spine{i}"
+        topology.add_node(name, NodeKind.SPINE, dc=dc)
+        spine_names.append(name)
+        topology.add_link(dc, name, spec.spine_dci_bps, spec.link_delay_s, inter_dc=False)
+        topology.add_link(name, dc, spec.spine_dci_bps, spec.link_delay_s, inter_dc=False)
+
+    leaf_names = []
+    for i in range(spec.leaves):
+        name = f"{dc}/leaf{i}"
+        topology.add_node(name, NodeKind.LEAF, dc=dc)
+        leaf_names.append(name)
+        for spine in spine_names:
+            topology.add_link(spine, name, spec.leaf_spine_bps, spec.link_delay_s, inter_dc=False)
+            topology.add_link(name, spine, spec.leaf_spine_bps, spec.link_delay_s, inter_dc=False)
+
+    host_names = []
+    host_idx = 0
+    for leaf in leaf_names:
+        for _ in range(spec.hosts_per_leaf):
+            name = f"{dc}/host{host_idx}"
+            host_idx += 1
+            topology.add_node(name, NodeKind.HOST, dc=dc)
+            host_names.append(name)
+            topology.add_link(leaf, name, spec.host_link_bps, spec.link_delay_s, inter_dc=False)
+            topology.add_link(name, leaf, spec.host_link_bps, spec.link_delay_s, inter_dc=False)
+
+    return host_names

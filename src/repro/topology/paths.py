@@ -1,0 +1,285 @@
+"""Candidate-path enumeration over inter-DC topologies.
+
+LCMP (and every baseline router in this repository) chooses among a set of
+*candidate* inter-DC routes for each (source DC, destination DC) pair.  The
+paper's evaluation topologies expose between one and six candidates per pair.
+This module enumerates loop-free candidate paths, ranks them, and exposes the
+static attributes the LCMP control plane needs: end-to-end propagation delay
+and bottleneck capacity.
+
+Candidates are computed over the *inter-DC* graph only (DCI switches and the
+links between them); intra-DC hops are accounted for separately by the
+simulator's access-delay model.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .graph import LinkSpec, Topology, TopologyError
+
+__all__ = ["CandidatePath", "PathSet", "enumerate_paths", "shortest_delay_path"]
+
+
+@dataclass(frozen=True)
+class CandidatePath:
+    """A loop-free inter-DC route between two datacenters.
+
+    Attributes:
+        dcs: ordered DC names from source to destination (inclusive).
+        links: the directed inter-DC links along the route.
+        delay_s: total one-way propagation delay along ``links``.
+        bottleneck_bps: minimum link capacity along ``links``.
+        hop_count: number of inter-DC links.
+    """
+
+    dcs: Tuple[str, ...]
+    links: Tuple[LinkSpec, ...]
+    delay_s: float
+    bottleneck_bps: float
+
+    @property
+    def src(self) -> str:
+        """Source datacenter."""
+        return self.dcs[0]
+
+    @property
+    def dst(self) -> str:
+        """Destination datacenter."""
+        return self.dcs[-1]
+
+    @property
+    def hop_count(self) -> int:
+        """Number of inter-DC links traversed."""
+        return len(self.links)
+
+    @property
+    def first_hop(self) -> str:
+        """The next DC after the source — the egress decision LCMP makes."""
+        return self.dcs[1]
+
+    @property
+    def first_link(self) -> LinkSpec:
+        """The first inter-DC link (the egress port at the source DCI)."""
+        return self.links[0]
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        route = "->".join(self.dcs)
+        return f"{route} ({self.delay_s * 1e3:.1f} ms, {self.bottleneck_bps / 1e9:g} Gbps)"
+
+
+class PathSet:
+    """Precomputed candidate paths for every ordered DC pair of a topology.
+
+    The path set is the control-plane view of the network: the LCMP control
+    plane walks it to install per-path quality scores, and routers query it at
+    flow-arrival time for the candidate list of a destination.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        max_candidates: int = 8,
+        max_extra_hops: int = 2,
+    ) -> None:
+        """Enumerate candidates for all DC pairs.
+
+        Args:
+            topology: the inter-DC topology.
+            max_candidates: keep at most this many candidates per pair.
+            max_extra_hops: keep only paths whose hop count is within this
+                many hops of the minimum hop count for the pair (prevents
+                absurdly long detours on dense graphs).
+        """
+        self.topology = topology
+        self.max_candidates = max_candidates
+        self.max_extra_hops = max_extra_hops
+        self._paths: Dict[Tuple[str, str], List[CandidatePath]] = {}
+        for src, dst in topology.dc_pairs(ordered=True):
+            cands = enumerate_paths(
+                topology,
+                src,
+                dst,
+                max_candidates=max_candidates,
+                max_extra_hops=max_extra_hops,
+            )
+            self._paths[(src, dst)] = cands
+
+    def candidates(self, src: str, dst: str) -> List[CandidatePath]:
+        """Candidate paths from ``src`` to ``dst`` (may be empty)."""
+        return list(self._paths.get((src, dst), []))
+
+    def pairs_with_multipath(self) -> List[Tuple[str, str]]:
+        """Ordered DC pairs that have two or more candidate paths."""
+        return [pair for pair, cands in self._paths.items() if len(cands) >= 2]
+
+    def multipath_fraction(self) -> float:
+        """Fraction of ordered DC pairs with at least two candidates.
+
+        The paper reports 57.1 % for the 8-DC testbed and 25.6 % for the
+        13-DC BSONetwork topology (counting unordered pairs); this helper is
+        used by the topology tests to check we are in the same regime.
+        """
+        total = len(self._paths)
+        if total == 0:
+            return 0.0
+        multi = len(self.pairs_with_multipath())
+        return multi / total
+
+    def ideal_delay(self, src: str, dst: str) -> float:
+        """Minimum propagation delay among candidates for the pair."""
+        cands = self.candidates(src, dst)
+        if not cands:
+            raise TopologyError(f"no path from {src!r} to {dst!r}")
+        return min(c.delay_s for c in cands)
+
+    def best_bottleneck(self, src: str, dst: str) -> float:
+        """Maximum bottleneck capacity among candidates for the pair."""
+        cands = self.candidates(src, dst)
+        if not cands:
+            raise TopologyError(f"no path from {src!r} to {dst!r}")
+        return max(c.bottleneck_bps for c in cands)
+
+    def all_pairs(self) -> List[Tuple[str, str]]:
+        """All ordered DC pairs covered by this path set."""
+        return list(self._paths.keys())
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+
+def _build_path(topology: Topology, dcs: Sequence[str]) -> CandidatePath:
+    links = []
+    delay = 0.0
+    bottleneck = float("inf")
+    for a, b in zip(dcs[:-1], dcs[1:]):
+        spec = topology.link(a, b)
+        links.append(spec)
+        delay += spec.delay_s
+        bottleneck = min(bottleneck, spec.cap_bps)
+    return CandidatePath(
+        dcs=tuple(dcs),
+        links=tuple(links),
+        delay_s=delay,
+        bottleneck_bps=bottleneck,
+    )
+
+
+def enumerate_paths(
+    topology: Topology,
+    src: str,
+    dst: str,
+    max_candidates: int = 8,
+    max_extra_hops: int = 2,
+) -> List[CandidatePath]:
+    """Enumerate loop-free candidate paths between two datacenters.
+
+    The search is a bounded depth-first enumeration over the inter-DC graph.
+    Results are ranked by (hop count, propagation delay) and truncated to
+    ``max_candidates``; paths longer than ``min_hops + max_extra_hops`` are
+    discarded.
+
+    Args:
+        topology: the inter-DC topology.
+        src: source DC name.
+        dst: destination DC name.
+        max_candidates: cap on the number of returned candidates.
+        max_extra_hops: detour bound relative to the hop-minimal path.
+
+    Returns:
+        A list of :class:`CandidatePath`, possibly empty when ``dst`` is
+        unreachable from ``src``.
+    """
+    if src == dst:
+        raise TopologyError("source and destination DC must differ")
+    dci_neighbors: Dict[str, List[str]] = {}
+    dcs = set(topology.dcs)
+    for spec in topology.inter_dc_links():
+        if spec.src in dcs and spec.dst in dcs:
+            dci_neighbors.setdefault(spec.src, []).append(spec.dst)
+
+    min_hops = _min_hops(dci_neighbors, src, dst)
+    if min_hops is None:
+        return []
+    hop_limit = min_hops + max_extra_hops
+
+    found: List[Tuple[str, ...]] = []
+    stack: List[Tuple[str, Tuple[str, ...]]] = [(src, (src,))]
+    while stack:
+        node, route = stack.pop()
+        if len(route) - 1 > hop_limit:
+            continue
+        for nxt in sorted(dci_neighbors.get(node, [])):
+            if nxt in route:
+                continue
+            new_route = route + (nxt,)
+            if nxt == dst:
+                found.append(new_route)
+            elif len(new_route) - 1 < hop_limit:
+                stack.append((nxt, new_route))
+
+    paths = [_build_path(topology, route) for route in found]
+    paths.sort(key=lambda p: (p.hop_count, p.delay_s, -p.bottleneck_bps, p.dcs))
+    return paths[:max_candidates]
+
+
+def shortest_delay_path(
+    topology: Topology, src: str, dst: str
+) -> Optional[CandidatePath]:
+    """Dijkstra over propagation delay on the inter-DC graph.
+
+    Returns ``None`` when ``dst`` is unreachable.  Used to compute the ideal
+    FCT reference (the paper normalises FCT by the flow's completion time on
+    the shortest-propagation-delay path with no competing traffic).
+    """
+    dcs = set(topology.dcs)
+    adj: Dict[str, List[LinkSpec]] = {}
+    for spec in topology.inter_dc_links():
+        if spec.src in dcs and spec.dst in dcs:
+            adj.setdefault(spec.src, []).append(spec)
+
+    best: Dict[str, float] = {src: 0.0}
+    prev: Dict[str, str] = {}
+    heap: List[Tuple[float, str]] = [(0.0, src)]
+    visited = set()
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        if node == dst:
+            break
+        for spec in adj.get(node, []):
+            cand = dist + spec.delay_s
+            if cand < best.get(spec.dst, float("inf")):
+                best[spec.dst] = cand
+                prev[spec.dst] = node
+                heapq.heappush(heap, (cand, spec.dst))
+    if dst not in best:
+        return None
+    route = [dst]
+    while route[-1] != src:
+        route.append(prev[route[-1]])
+    route.reverse()
+    return _build_path(topology, route)
+
+
+def _min_hops(adj: Dict[str, List[str]], src: str, dst: str) -> Optional[int]:
+    """Breadth-first minimum hop count from ``src`` to ``dst``."""
+    frontier = [src]
+    seen = {src}
+    hops = 0
+    while frontier:
+        nxt_frontier = []
+        for node in frontier:
+            if node == dst:
+                return hops
+            for nxt in adj.get(node, []):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    nxt_frontier.append(nxt)
+        frontier = nxt_frontier
+        hops += 1
+    return None

@@ -1,0 +1,25 @@
+"""Workload models: flow-size CDFs and the synthetic traffic generator."""
+
+from .cdf import FlowSizeCDF
+from .distributions import (
+    ALI_STORAGE,
+    FB_HADOOP,
+    WEB_SEARCH,
+    WORKLOADS,
+    available_workloads,
+    get_workload,
+)
+from .traffic_gen import TrafficConfig, TrafficGenerator, aggregate_egress_capacity
+
+__all__ = [
+    "FlowSizeCDF",
+    "WEB_SEARCH",
+    "ALI_STORAGE",
+    "FB_HADOOP",
+    "WORKLOADS",
+    "available_workloads",
+    "get_workload",
+    "TrafficConfig",
+    "TrafficGenerator",
+    "aggregate_egress_capacity",
+]

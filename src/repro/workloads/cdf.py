@@ -1,0 +1,117 @@
+"""Flow-size CDFs.
+
+The evaluation samples flow sizes from the published flow-size distributions
+(WebSearch, AliStorage2019, Facebook Hadoop), supplied as piecewise-linear
+CDFs exactly like the ``flowCDF`` text files in the paper's artifact.  This
+module implements the CDF representation: validation, mean computation
+(needed to convert a target load into an arrival rate) and inverse-transform
+sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["FlowSizeCDF"]
+
+
+@dataclass(frozen=True)
+class FlowSizeCDF:
+    """A piecewise-linear flow-size CDF.
+
+    Attributes:
+        name: human-readable workload name.
+        points: monotonically non-decreasing (size_bytes, cumulative
+            probability) pairs; the last probability must be 1.0.
+    """
+
+    name: str
+    points: Tuple[Tuple[float, float], ...]
+
+    # ------------------------------------------------------------------ #
+    # construction / validation
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_pairs(name: str, pairs: Sequence[Tuple[float, float]]) -> "FlowSizeCDF":
+        """Build and validate a CDF from (size, probability) pairs.
+
+        Raises:
+            ValueError: when the pairs are empty, not sorted, contain
+                probabilities outside [0, 1], or do not end at probability 1.
+        """
+        if not pairs:
+            raise ValueError("CDF needs at least one point")
+        pts = tuple((float(s), float(p)) for s, p in pairs)
+        prev_size, prev_prob = -1.0, -1.0
+        for size, prob in pts:
+            if size <= 0:
+                raise ValueError(f"{name}: flow sizes must be positive, got {size}")
+            if not 0.0 <= prob <= 1.0:
+                raise ValueError(f"{name}: probability {prob} outside [0, 1]")
+            if size < prev_size or prob < prev_prob:
+                raise ValueError(f"{name}: CDF points must be non-decreasing")
+            prev_size, prev_prob = size, prob
+        if abs(pts[-1][1] - 1.0) > 1e-9:
+            raise ValueError(f"{name}: CDF must end at probability 1.0")
+        return FlowSizeCDF(name=name, points=pts)
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def mean_bytes(self) -> float:
+        """Mean flow size implied by the piecewise-linear CDF."""
+        sizes = [p[0] for p in self.points]
+        probs = [p[1] for p in self.points]
+        mean = sizes[0] * probs[0]
+        for i in range(1, len(sizes)):
+            mass = probs[i] - probs[i - 1]
+            if mass <= 0:
+                continue
+            # linear interpolation between consecutive points: average size
+            mean += mass * (sizes[i - 1] + sizes[i]) / 2.0
+        return mean
+
+    def min_bytes(self) -> float:
+        """Smallest flow size in the support."""
+        return self.points[0][0]
+
+    def max_bytes(self) -> float:
+        """Largest flow size in the support."""
+        return self.points[-1][0]
+
+    def quantile(self, prob: float) -> float:
+        """Inverse CDF: the flow size at cumulative probability ``prob``."""
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        sizes = [p[0] for p in self.points]
+        probs = [p[1] for p in self.points]
+        if prob <= probs[0]:
+            return sizes[0]
+        for i in range(1, len(sizes)):
+            if prob <= probs[i]:
+                span = probs[i] - probs[i - 1]
+                if span <= 0:
+                    return sizes[i]
+                frac = (prob - probs[i - 1]) / span
+                return sizes[i - 1] + frac * (sizes[i] - sizes[i - 1])
+        return sizes[-1]
+
+    # ------------------------------------------------------------------ #
+    # sampling
+    # ------------------------------------------------------------------ #
+    def sample(self, rng: np.random.Generator, count: int = 1) -> np.ndarray:
+        """Draw ``count`` flow sizes (bytes, integer, at least 1)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        u = rng.random(count)
+        sizes = np.array([self.quantile(x) for x in u])
+        return np.maximum(1, np.rint(sizes)).astype(np.int64)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlowSizeCDF({self.name}, mean={self.mean_bytes() / 1e3:.1f} kB, "
+            f"max={self.max_bytes() / 1e6:.1f} MB)"
+        )

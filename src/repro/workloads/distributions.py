@@ -1,0 +1,102 @@
+"""Published datacenter flow-size distributions.
+
+The paper's artifact ships three flow-size CDFs (``traffic_gen/flowCDF/``):
+WebSearch (the DCTCP web-search workload), AliStorage2019 (Alibaba storage,
+from the HPCC artifact) and FbHdp (Facebook Hadoop).  The exact trace files
+are not redistributable here, so this module embeds close piecewise-linear
+approximations of the published distributions — heavy-tailed, with the means
+and size ranges reported in the corresponding papers — which is what the
+evaluation actually depends on (documented substitution, see DESIGN.md).
+
+All sizes are in bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .cdf import FlowSizeCDF
+
+__all__ = [
+    "WEB_SEARCH",
+    "ALI_STORAGE",
+    "FB_HADOOP",
+    "WORKLOADS",
+    "get_workload",
+    "available_workloads",
+]
+
+#: DCTCP web-search workload: bimodal, most flows tiny, a heavy tail of
+#: multi-megabyte responses (mean ~1.6 MB).
+WEB_SEARCH = FlowSizeCDF.from_pairs(
+    "websearch",
+    [
+        (6_000, 0.15),
+        (13_000, 0.20),
+        (19_000, 0.30),
+        (33_000, 0.40),
+        (53_000, 0.53),
+        (133_000, 0.60),
+        (667_000, 0.70),
+        (1_333_000, 0.80),
+        (3_333_000, 0.90),
+        (6_667_000, 0.97),
+        (20_000_000, 1.00),
+    ],
+)
+
+#: Alibaba storage workload (HPCC artifact): dominated by small requests with
+#: a tail of ~1 MB chunk writes.
+ALI_STORAGE = FlowSizeCDF.from_pairs(
+    "alistorage",
+    [
+        (1_000, 0.25),
+        (2_000, 0.40),
+        (4_000, 0.55),
+        (8_000, 0.65),
+        (16_000, 0.70),
+        (64_000, 0.80),
+        (256_000, 0.90),
+        (1_048_576, 0.97),
+        (2_097_152, 1.00),
+    ],
+)
+
+#: Facebook Hadoop workload: mostly sub-kilobyte RPCs with a long shuffle
+#: tail into the tens of megabytes.
+FB_HADOOP = FlowSizeCDF.from_pairs(
+    "fbhadoop",
+    [
+        (300, 0.30),
+        (1_000, 0.50),
+        (2_000, 0.60),
+        (10_000, 0.70),
+        (100_000, 0.80),
+        (1_000_000, 0.90),
+        (10_000_000, 0.99),
+        (30_000_000, 1.00),
+    ],
+)
+
+WORKLOADS: Dict[str, FlowSizeCDF] = {
+    "websearch": WEB_SEARCH,
+    "alistorage": ALI_STORAGE,
+    "fbhadoop": FB_HADOOP,
+}
+
+
+def available_workloads() -> List[str]:
+    """Names of the embedded workloads."""
+    return sorted(WORKLOADS)
+
+
+def get_workload(name: str) -> FlowSizeCDF:
+    """Look up a workload CDF by name (case-insensitive).
+
+    Raises:
+        KeyError: when the name is unknown.
+    """
+    key = name.lower()
+    if key not in WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}; available: {available_workloads()}")
+    return WORKLOADS[key]

@@ -1,0 +1,88 @@
+"""Tests for the FCT-slowdown analysis."""
+
+import pytest
+
+from repro.analysis import DEFAULT_SIZE_BINS, SlowdownProfile, compare, reduction
+from repro.simulator.fct import FlowRecord
+
+
+def record(flow_id, size_bytes, slowdown, src="DC1", dst="DC8"):
+    ideal = 0.01
+    return FlowRecord(
+        flow_id=flow_id,
+        src_dc=src,
+        dst_dc=dst,
+        size_bytes=size_bytes,
+        arrival_s=0.0,
+        fct_s=ideal * slowdown,
+        ideal_fct_s=ideal,
+        slowdown=slowdown,
+        path_dcs=(src, dst),
+    )
+
+
+@pytest.fixture
+def mixed_records():
+    records = []
+    flow_id = 0
+    for size, slowdown in [(5_000, 2.0), (8_000, 4.0), (50_000, 3.0), (500_000, 6.0), (5_000_000, 10.0)]:
+        for i in range(20):
+            records.append(record(flow_id, size, slowdown + (i % 5) * 0.1))
+            flow_id += 1
+    return records
+
+
+class TestProfile:
+    def test_bins_and_percentiles(self, mixed_records):
+        profile = SlowdownProfile.from_records("lcmp", mixed_records)
+        assert profile.total_flows == 100
+        assert profile.overall_p50 > 0
+        assert profile.overall_p99 >= profile.overall_p50
+        assert len(profile.bins) >= 3
+        for stats in profile.bins:
+            assert stats.p99 >= stats.p50
+            assert stats.count > 0
+
+    def test_bin_labels_and_series(self, mixed_records):
+        profile = SlowdownProfile.from_records("x", mixed_records)
+        labels = profile.bin_labels()
+        assert len(labels) == len(profile.bins)
+        assert len(profile.series("p50")) == len(profile.bins)
+        assert len(profile.series("p99")) == len(profile.bins)
+        with pytest.raises(ValueError):
+            profile.series("p42")
+
+    def test_small_flows_land_in_first_bin(self, mixed_records):
+        profile = SlowdownProfile.from_records("x", mixed_records)
+        first = profile.bins[0]
+        assert first.hi_bytes == DEFAULT_SIZE_BINS[1]
+        assert first.count == 40  # the 5 kB and 8 kB groups
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            SlowdownProfile.from_records("x", [])
+
+    def test_invalid_bins_rejected(self, mixed_records):
+        with pytest.raises(ValueError):
+            SlowdownProfile.from_records("x", mixed_records, size_bins=[100, 10])
+
+
+class TestComparisons:
+    def test_compare_summary(self, mixed_records):
+        a = SlowdownProfile.from_records("lcmp", mixed_records)
+        b = SlowdownProfile.from_records("ecmp", mixed_records)
+        summary = compare([a, b])
+        assert set(summary) == {"lcmp", "ecmp"}
+        assert summary["lcmp"]["p50"] == a.overall_p50
+
+    def test_reduction_positive_when_better(self, mixed_records):
+        ours = SlowdownProfile.from_records("lcmp", [record(i, 10_000, 2.0) for i in range(50)])
+        base = SlowdownProfile.from_records("ecmp", [record(i, 10_000, 8.0) for i in range(50)])
+        result = reduction(ours, base)
+        assert result["p50"] == pytest.approx(0.75)
+        assert result["p99"] == pytest.approx(0.75)
+
+    def test_reduction_negative_when_worse(self, mixed_records):
+        ours = SlowdownProfile.from_records("lcmp", [record(i, 10_000, 8.0) for i in range(50)])
+        base = SlowdownProfile.from_records("ecmp", [record(i, 10_000, 4.0) for i in range(50)])
+        assert reduction(ours, base)["p50"] < 0

@@ -1,0 +1,63 @@
+"""Tests for the simulator-fidelity analysis (Fig. 6)."""
+
+import pytest
+
+from repro.analysis import SlowdownProfile, fidelity_study, pearson
+from repro.simulator.fct import FlowRecord
+
+
+def records(slowdown_by_size, jitter=0.0):
+    out = []
+    flow_id = 0
+    for size, slowdown in slowdown_by_size.items():
+        for i in range(30):
+            s = slowdown * (1 + jitter * ((i % 7) - 3) / 10)
+            out.append(
+                FlowRecord(flow_id, "DC1", "DC8", size, 0.0, 0.01 * s, 0.01, s, ("DC1", "DC8"))
+            )
+            flow_id += 1
+    return out
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            pearson([1], [1])
+
+    def test_constant_series(self):
+        assert pearson([2, 2, 2], [2, 2, 2]) == pytest.approx(1.0)
+
+
+class TestFidelityStudy:
+    def test_similar_profiles_correlate_highly(self):
+        sizes = {5_000: 3.0, 50_000: 4.0, 500_000: 6.0, 5_000_000: 12.0}
+        testbed = SlowdownProfile.from_records("testbed", records(sizes, jitter=0.3))
+        simulator = SlowdownProfile.from_records("sim", records(sizes, jitter=0.0))
+        study = fidelity_study(testbed, simulator)
+        assert study.p50_correlation > 0.9
+        assert study.p99_correlation > 0.9
+        assert len(study.pairs_p50) >= 3
+
+    def test_uncorrelated_profiles_detected(self):
+        increasing = {5_000: 2.0, 50_000: 4.0, 500_000: 8.0, 5_000_000: 16.0}
+        decreasing = {5_000: 16.0, 50_000: 8.0, 500_000: 4.0, 5_000_000: 2.0}
+        a = SlowdownProfile.from_records("a", records(increasing))
+        b = SlowdownProfile.from_records("b", records(decreasing))
+        study = fidelity_study(a, b)
+        assert study.p50_correlation < 0
+
+    def test_insufficient_shared_bins_rejected(self):
+        a = SlowdownProfile.from_records("a", records({5_000: 2.0}))
+        b = SlowdownProfile.from_records("b", records({5_000: 2.0}))
+        with pytest.raises(ValueError):
+            fidelity_study(a, b)

@@ -1,0 +1,58 @@
+"""Tests for the plain-text report rendering."""
+
+from repro.analysis import (
+    SlowdownProfile,
+    format_table,
+    reduction_report,
+    slowdown_table,
+    utilization_report,
+)
+from repro.analysis.utilization import LinkUtilization
+from repro.simulator.fct import FlowRecord
+
+
+def profile(name, slowdown):
+    records = [
+        FlowRecord(i, "DC1", "DC8", size, 0.0, 0.01 * slowdown, 0.01, slowdown, ("DC1", "DC8"))
+        for i, size in enumerate([5_000, 50_000, 500_000] * 10)
+    ]
+    return SlowdownProfile.from_records(name, records)
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "longer-name" in lines[3]
+        assert set(lines[1]) <= {"-", " "}
+
+
+class TestSlowdownTable:
+    def test_columns_per_profile(self):
+        text = slowdown_table([profile("lcmp", 2.0), profile("ecmp", 6.0)], "p50")
+        assert "lcmp" in text and "ecmp" in text
+        assert "overall" in text
+        assert "6.00" in text and "2.00" in text
+
+    def test_empty_profiles(self):
+        assert slowdown_table([]) == "(no profiles)"
+
+
+class TestUtilizationReport:
+    def test_one_column_per_algorithm(self):
+        rows = {
+            "lcmp": [LinkUtilization("DC1", "DC2", 1e9, 0.25, 0)],
+            "ecmp": [LinkUtilization("DC1", "DC2", 1e9, 0.5, 0)],
+        }
+        text = utilization_report(rows)
+        assert "25.0%" in text and "50.0%" in text and "1-2" in text
+
+    def test_empty(self):
+        assert utilization_report({}) == "(no data)"
+
+
+class TestReductionReport:
+    def test_percent_rendering(self):
+        text = reduction_report({"ecmp": {"p50": 0.42, "p99": 0.61}})
+        assert "42%" in text and "61%" in text and "ecmp" in text

@@ -1,0 +1,119 @@
+"""Shared fixtures for the LCMP reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LCMPConfig, SwitchTables
+from repro.simulator import SimulationConfig
+from repro.topology import (
+    GBPS,
+    MS,
+    PathSet,
+    Topology,
+    build_bso13,
+    build_testbed8,
+    bso13_pathset,
+    testbed8_pathset,
+)
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_topology() -> Topology:
+    """A 3-DC triangle with asymmetric capacities/delays.
+
+    DC-A -- DC-B: 100 Gbps, 5 ms
+    DC-A -- DC-C: 40 Gbps, 1 ms
+    DC-C -- DC-B: 40 Gbps, 1 ms
+
+    so A->B has two candidates: fast direct (5 ms, 100 G) and a 2 ms,
+    40 G two-hop detour.
+    """
+    topo = Topology("tiny")
+    for name in ("A", "B", "C"):
+        topo.add_dc(name)
+    topo.add_inter_dc_link("A", "B", cap_bps=100 * GBPS, delay_s=5 * MS)
+    topo.add_inter_dc_link("A", "C", cap_bps=40 * GBPS, delay_s=1 * MS)
+    topo.add_inter_dc_link("C", "B", cap_bps=40 * GBPS, delay_s=1 * MS)
+    for name in ("A", "B", "C"):
+        topo.add_hosts(name, count=4, nic_bps=100 * GBPS)
+    topo.validate()
+    return topo
+
+
+@pytest.fixture
+def tiny_pathset(tiny_topology) -> PathSet:
+    """Candidate paths of the tiny triangle (max one extra hop)."""
+    return PathSet(tiny_topology, max_candidates=4, max_extra_hops=1)
+
+
+@pytest.fixture(scope="session")
+def testbed_topology() -> Topology:
+    """The full-rate 8-DC testbed topology (session-scoped, read-only)."""
+    return build_testbed8()
+
+
+@pytest.fixture(scope="session")
+def testbed_paths(testbed_topology) -> PathSet:
+    """Candidate paths of the 8-DC testbed."""
+    return testbed8_pathset(testbed_topology)
+
+
+@pytest.fixture(scope="session")
+def scaled_testbed() -> Topology:
+    """Time-scaled 8-DC testbed used by simulation tests (1/10 rates)."""
+    return build_testbed8(capacity_scale=0.1)
+
+
+@pytest.fixture(scope="session")
+def scaled_testbed_paths(scaled_testbed) -> PathSet:
+    return testbed8_pathset(scaled_testbed)
+
+
+@pytest.fixture(scope="session")
+def bso_topology() -> Topology:
+    """The full-rate 13-DC BSONetwork topology."""
+    return build_bso13()
+
+
+@pytest.fixture(scope="session")
+def bso_paths(bso_topology) -> PathSet:
+    return bso13_pathset(bso_topology)
+
+
+@pytest.fixture
+def lcmp_config() -> LCMPConfig:
+    """Default LCMP weights."""
+    return LCMPConfig()
+
+
+@pytest.fixture
+def switch_tables(lcmp_config) -> SwitchTables:
+    """Bootstrap tables for a 400 Gbps / 512 MB-buffer switch."""
+    return SwitchTables.bootstrap(
+        config=lcmp_config,
+        max_capacity_bps=400 * GBPS,
+        buffer_bytes=512 * 1024 * 1024,
+        link_rates_bps=[40 * GBPS, 100 * GBPS, 200 * GBPS],
+        trend_interval_s=1e-3,
+    )
+
+
+@pytest.fixture
+def quick_sim_config() -> SimulationConfig:
+    """Fast simulation config for unit/integration tests."""
+    return SimulationConfig(
+        update_interval_s=1e-3,
+        monitor_interval_s=1e-3,
+        gc_interval_s=0.1,
+        max_sim_time_s=30.0,
+        drain_timeout_s=20.0,
+        seed=99,
+    )

@@ -1,0 +1,71 @@
+"""Tests for the congestion-control registry and base behaviour."""
+
+import pytest
+
+from repro.congestion_control import (
+    CongestionControl,
+    available_ccs,
+    make_cc_factory,
+)
+from repro.simulator import FeedbackSignal
+
+
+def signal(ecn=0.0, util=0.5, rtt=0.01, qdelay=0.0, t=0.0):
+    return FeedbackSignal(
+        generated_s=t,
+        ecn_fraction=ecn,
+        max_utilization=util,
+        rtt_s=rtt,
+        queue_delay_s=qdelay,
+    )
+
+
+class TestRegistry:
+    def test_all_paper_ccs_registered(self):
+        names = available_ccs()
+        for expected in ("dcqcn", "hpcc", "timely", "dctcp"):
+            assert expected in names
+
+    def test_factory_builds_instances(self):
+        factory = make_cc_factory("dcqcn")
+        cc = factory(100e9, 0.01)
+        assert cc.rate_bps == 100e9
+        assert cc.base_rtt_s == 0.01
+
+    def test_unknown_cc_rejected(self):
+        with pytest.raises(KeyError):
+            make_cc_factory("cubic")
+
+    def test_factory_forwards_params(self):
+        factory = make_cc_factory("dcqcn", g=0.25)
+        assert factory(1e9, 0.01).g == 0.25
+
+
+class TestBaseValidation:
+    def test_invalid_line_rate(self):
+        factory = make_cc_factory("fixed")
+        with pytest.raises(ValueError):
+            factory(0, 0.01)
+
+    def test_invalid_rtt(self):
+        factory = make_cc_factory("fixed")
+        with pytest.raises(ValueError):
+            factory(1e9, -1)
+
+
+class TestClamping:
+    def test_rate_never_exceeds_line_rate_nor_drops_below_floor(self):
+        for name in available_ccs():
+            factory = make_cc_factory(name)
+            cc = factory(10e9, 0.02)
+            # alternate heavy congestion and long idle recovery
+            for step in range(200):
+                congested = step % 3 != 0
+                cc.on_feedback(
+                    signal(ecn=0.9 if congested else 0.0, util=2.0 if congested else 0.1,
+                           rtt=0.08 if congested else 0.02, qdelay=0.06 if congested else 0.0,
+                           t=step * 1e-3),
+                    now=step * 1e-3,
+                )
+                cc.on_interval(1e-3, now=step * 1e-3)
+                assert cc.min_rate_bps <= cc.rate_bps <= cc.line_rate_bps, name

@@ -1,0 +1,56 @@
+"""Tests for the DCTCP model."""
+
+import pytest
+
+from repro.congestion_control import DCTCP
+from repro.simulator import FeedbackSignal
+
+
+def signal(ecn, t=0.0):
+    return FeedbackSignal(generated_s=t, ecn_fraction=ecn, max_utilization=1.0, rtt_s=0.01, queue_delay_s=0.0)
+
+
+BASE_RTT = 0.010
+
+
+class TestDCTCP:
+    def test_window_update_happens_once_per_rtt(self):
+        cc = DCTCP(100e9, BASE_RTT)
+        cc.on_feedback(signal(0.5), now=0.0)
+        cc.on_interval(dt=BASE_RTT / 4, now=0.0)
+        assert cc.rate_bps == 100e9  # not a full RTT yet
+        cc.on_interval(dt=BASE_RTT, now=BASE_RTT)
+        assert cc.rate_bps < 100e9
+
+    def test_alpha_tracks_marking_fraction(self):
+        cc = DCTCP(100e9, BASE_RTT, g=0.5)
+        cc.on_feedback(signal(1.0), now=0.0)
+        cc.on_interval(dt=BASE_RTT, now=BASE_RTT)
+        assert cc.alpha == pytest.approx(0.5)
+        cc.on_feedback(signal(1.0), now=BASE_RTT)
+        cc.on_interval(dt=BASE_RTT, now=2 * BASE_RTT)
+        assert cc.alpha == pytest.approx(0.75)
+
+    def test_cut_proportional_to_alpha(self):
+        heavy = DCTCP(100e9, BASE_RTT, g=1.0)
+        light = DCTCP(100e9, BASE_RTT, g=1.0)
+        heavy.on_feedback(signal(1.0), now=0.0)
+        light.on_feedback(signal(0.1), now=0.0)
+        heavy.on_interval(dt=BASE_RTT, now=BASE_RTT)
+        light.on_interval(dt=BASE_RTT, now=BASE_RTT)
+        assert heavy.rate_bps < light.rate_bps
+
+    def test_additive_increase_without_marks(self):
+        cc = DCTCP(100e9, BASE_RTT)
+        cc.rate_bps = 1e9
+        cc.on_interval(dt=BASE_RTT, now=BASE_RTT)
+        assert cc.rate_bps > 1e9
+
+    def test_rate_recovers_over_time(self):
+        cc = DCTCP(100e9, BASE_RTT)
+        cc.on_feedback(signal(1.0), now=0.0)
+        cc.on_interval(dt=BASE_RTT, now=BASE_RTT)
+        throttled = cc.rate_bps
+        for step in range(2, 50):
+            cc.on_interval(dt=BASE_RTT, now=step * BASE_RTT)
+        assert cc.rate_bps > throttled

@@ -1,0 +1,43 @@
+"""Tests for the HPCC model."""
+
+import pytest
+
+from repro.congestion_control import HPCC
+from repro.simulator import FeedbackSignal
+
+
+def signal(util, t=0.0):
+    return FeedbackSignal(generated_s=t, ecn_fraction=0.0, max_utilization=util, rtt_s=0.01, queue_delay_s=0.0)
+
+
+class TestHPCC:
+    def test_decreases_above_target_utilisation(self):
+        cc = HPCC(100e9, 0.01, eta=0.95)
+        cc.on_feedback(signal(util=1.5), now=0.0)
+        assert cc.rate_bps < 100e9
+
+    def test_scales_roughly_with_overload_factor(self):
+        cc = HPCC(100e9, 0.01, eta=0.95, wai_fraction=0.0)
+        cc.on_feedback(signal(util=1.9), now=0.0)
+        assert cc.rate_bps == pytest.approx(100e9 * 0.95 / 1.9, rel=0.01)
+
+    def test_additive_increase_below_target(self):
+        cc = HPCC(100e9, 0.01, eta=0.95, wai_fraction=0.01)
+        cc.rate_bps = cc._reference_rate_bps = 10e9
+        cc.on_feedback(signal(util=0.3), now=0.0)
+        assert cc.rate_bps == pytest.approx(10e9 + 1e9)
+
+    def test_max_stage_forces_multiplicative_update(self):
+        cc = HPCC(100e9, 0.01, eta=0.95, max_stage=2, wai_fraction=0.001)
+        cc.rate_bps = cc._reference_rate_bps = 10e9
+        for step in range(5):
+            cc.on_feedback(signal(util=0.5), now=step * 1e-3)
+        # after max_stage AI steps, the MI step kicks the rate up toward
+        # eta/util of the reference (still clamped to the line rate)
+        assert cc.rate_bps > 10e9
+
+    def test_interval_is_noop(self):
+        cc = HPCC(100e9, 0.01)
+        before = cc.rate_bps
+        cc.on_interval(1e-3, now=0.0)
+        assert cc.rate_bps == before

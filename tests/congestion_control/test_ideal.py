@@ -1,0 +1,37 @@
+"""Tests for the idealised congestion-control stand-ins."""
+
+import pytest
+
+from repro.congestion_control import FixedRate, IdealCC
+from repro.simulator import FeedbackSignal
+
+
+def signal(util):
+    return FeedbackSignal(generated_s=0.0, ecn_fraction=0.5, max_utilization=util, rtt_s=0.01, queue_delay_s=0.0)
+
+
+class TestFixedRate:
+    def test_never_changes_rate(self):
+        cc = FixedRate(10e9, 0.01)
+        cc.on_feedback(signal(5.0), now=0.0)
+        cc.on_interval(1e-3, now=0.0)
+        assert cc.rate_bps == 10e9
+        assert cc.feedback_count == 1
+
+
+class TestIdealCC:
+    def test_moves_to_target_utilisation(self):
+        cc = IdealCC(100e9, 0.01, target_utilization=0.9)
+        cc.on_feedback(signal(util=1.8), now=0.0)
+        assert cc.rate_bps == pytest.approx(100e9 * 0.9 / 1.8)
+
+    def test_probes_upward_when_idle(self):
+        cc = IdealCC(100e9, 0.01)
+        cc.rate_bps = 1e9
+        cc.on_interval(1e-3, now=0.0)
+        assert cc.rate_bps > 1e9
+
+    def test_clamped_to_line_rate(self):
+        cc = IdealCC(100e9, 0.01)
+        cc.on_feedback(signal(util=0.01), now=0.0)
+        assert cc.rate_bps <= 100e9

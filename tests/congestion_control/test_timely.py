@@ -1,0 +1,49 @@
+"""Tests for the TIMELY model."""
+
+from repro.congestion_control import Timely
+from repro.simulator import FeedbackSignal
+
+
+def signal(rtt, t=0.0):
+    return FeedbackSignal(generated_s=t, ecn_fraction=0.0, max_utilization=0.5, rtt_s=rtt, queue_delay_s=0.0)
+
+
+BASE_RTT = 0.010
+
+
+class TestTimely:
+    def test_low_rtt_increases_rate(self):
+        cc = Timely(100e9, BASE_RTT)
+        cc.rate_bps = 10e9
+        cc.on_feedback(signal(rtt=BASE_RTT), now=0.0)
+        assert cc.rate_bps > 10e9
+
+    def test_high_rtt_decreases_rate(self):
+        cc = Timely(100e9, BASE_RTT)
+        cc.on_feedback(signal(rtt=BASE_RTT + 0.05), now=0.0)
+        assert cc.rate_bps < 100e9
+
+    def test_gradient_decrease_between_thresholds(self):
+        cc = Timely(100e9, BASE_RTT, t_low_extra_s=1e-6, t_high_extra_s=0.1)
+        # rising RTT samples inside the [t_low, t_high] band -> positive
+        # gradient -> multiplicative decrease
+        cc.on_feedback(signal(rtt=BASE_RTT + 0.001), now=0.0)
+        cc.on_feedback(signal(rtt=BASE_RTT + 0.004), now=0.001)
+        cc.on_feedback(signal(rtt=BASE_RTT + 0.009), now=0.002)
+        assert cc.rate_bps < 100e9
+
+    def test_hyperactive_increase_after_persistent_low_rtt(self):
+        cc = Timely(100e9, BASE_RTT, addstep_fraction=0.01)
+        cc.rate_bps = 10e9
+        for step in range(4):
+            cc.on_feedback(signal(rtt=BASE_RTT), now=step * 1e-3)
+        rate_after_four = cc.rate_bps
+        cc.on_feedback(signal(rtt=BASE_RTT), now=5e-3)
+        fifth_step = cc.rate_bps - rate_after_four
+        assert fifth_step > 100e9 * 0.01 * 1.5  # HAI multiplies the step
+
+    def test_rate_clamped_to_line_rate(self):
+        cc = Timely(100e9, BASE_RTT)
+        for step in range(1000):
+            cc.on_feedback(signal(rtt=BASE_RTT), now=step * 1e-3)
+        assert cc.rate_bps <= 100e9

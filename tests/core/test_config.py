@@ -1,0 +1,75 @@
+"""Tests for the LCMP configuration object."""
+
+import pytest
+
+from repro.core import LCMPConfig
+
+
+class TestDefaults:
+    def test_paper_recommended_defaults(self):
+        cfg = LCMPConfig()
+        assert (cfg.alpha, cfg.beta) == (3, 1)
+        assert (cfg.w_dl, cfg.w_lc) == (3, 1)
+        assert (cfg.w_ql, cfg.w_tl, cfg.w_dp) == (2, 1, 1)
+        assert cfg.keep_fraction == 0.5
+        assert cfg.flow_cache_capacity == 50_000
+
+    def test_delay_shift_matches_max_delay(self):
+        assert LCMPConfig(max_delay_ms=32).delay_shift == 5
+        assert LCMPConfig(max_delay_ms=64).delay_shift == 6
+        assert LCMPConfig(max_delay_ms=512).delay_shift == 9
+
+    def test_validate_passes_on_defaults(self):
+        LCMPConfig().validate()
+
+
+class TestValidation:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            LCMPConfig(alpha=-1).validate()
+
+    def test_both_fusion_weights_zero_rejected(self):
+        with pytest.raises(ValueError):
+            LCMPConfig(alpha=0, beta=0).validate()
+
+    def test_max_delay_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            LCMPConfig(max_delay_ms=100).validate()
+        LCMPConfig(max_delay_ms=128).validate()
+
+    def test_keep_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            LCMPConfig(keep_fraction=0).validate()
+        with pytest.raises(ValueError):
+            LCMPConfig(keep_fraction=1.5).validate()
+        LCMPConfig(keep_fraction=1.0).validate()
+
+    def test_level_and_cache_bounds(self):
+        with pytest.raises(ValueError):
+            LCMPConfig(num_levels=1).validate()
+        with pytest.raises(ValueError):
+            LCMPConfig(high_water_level=10).validate()
+        with pytest.raises(ValueError):
+            LCMPConfig(flow_cache_capacity=0).validate()
+        with pytest.raises(ValueError):
+            LCMPConfig(flow_idle_timeout_s=0).validate()
+
+
+class TestOverridesAndAblations:
+    def test_with_overrides_is_copy(self):
+        base = LCMPConfig()
+        tweaked = base.with_overrides(alpha=1, beta=3)
+        assert (tweaked.alpha, tweaked.beta) == (1, 3)
+        assert (base.alpha, base.beta) == (3, 1)
+
+    def test_rm_alpha_ablation(self):
+        ablated = LCMPConfig().ablate_path_quality()
+        assert ablated.alpha == 0
+        assert ablated.beta >= 1
+        ablated.validate()
+
+    def test_rm_beta_ablation(self):
+        ablated = LCMPConfig().ablate_congestion()
+        assert ablated.beta == 0
+        assert ablated.alpha >= 1
+        ablated.validate()

@@ -1,0 +1,81 @@
+"""Tests for the LCMP control plane (slow-path provisioning)."""
+
+import pytest
+
+from repro.core import ControlPlane, LCMPConfig, LCMPRouter, lcmp_router_factory
+from repro.routing import make_router_factory
+from repro.simulator import RuntimeNetwork, SimulationConfig
+from repro.topology import GBPS
+
+
+class TestTables:
+    def test_tables_derived_from_topology(self, testbed_topology, testbed_paths):
+        cp = ControlPlane(testbed_topology, testbed_paths)
+        tables = cp.build_tables()
+        # the largest provisioned inter-DC capacity on the testbed is 200 Gbps
+        assert tables.max_capacity_bps == 200 * GBPS
+        assert tables.buffer_bytes > 0
+        # one trend bucket per distinct provisioned rate
+        assert len(tables.trend_thresholds) >= 3
+
+    def test_tables_cached(self, testbed_topology, testbed_paths):
+        cp = ControlPlane(testbed_topology, testbed_paths)
+        assert cp.build_tables() is cp.build_tables()
+
+    def test_empty_topology_rejected(self, tiny_topology, tiny_pathset):
+        from repro.topology import Topology
+
+        topo = Topology("lonely")
+        topo.add_dc("DC1")
+        cp = ControlPlane(topo, tiny_pathset)
+        with pytest.raises(ValueError):
+            cp.build_tables()
+
+
+class TestPathScores:
+    def test_scores_for_every_candidate(self, testbed_topology, testbed_paths):
+        cp = ControlPlane(testbed_topology, testbed_paths)
+        scores = cp.compute_path_scores("DC1")
+        dc8_scores = {key: val for key, val in scores.items() if key[0] == "DC8"}
+        assert len(dc8_scores) == 6
+        assert all(0 <= val <= 255 for val in scores.values())
+
+    def test_low_delay_paths_score_better(self, testbed_topology, testbed_paths):
+        cp = ControlPlane(testbed_topology, testbed_paths)
+        scores = cp.compute_path_scores("DC1")
+        via = {key[1][1]: val for key, val in scores.items() if key[0] == "DC8"}
+        assert via["DC3"] < via["DC2"]
+        assert via["DC7"] < via["DC6"]
+
+
+class TestInstallation:
+    def test_install_single_router(self, testbed_topology, testbed_paths):
+        router = LCMPRouter()
+        ControlPlane(testbed_topology, testbed_paths).install(router, "DC1")
+        assert router.installed
+
+    def test_install_all_skips_baselines(self, testbed_topology, testbed_paths):
+        cp = ControlPlane(testbed_topology, testbed_paths)
+        network = RuntimeNetwork(
+            testbed_topology, testbed_paths, make_router_factory("ecmp"), SimulationConfig()
+        )
+        assert cp.install_all(network) == 0
+
+    def test_install_all_provisions_lcmp(self, testbed_topology, testbed_paths):
+        cp = ControlPlane(testbed_topology, testbed_paths)
+        network = RuntimeNetwork(
+            testbed_topology,
+            testbed_paths,
+            lambda dc: LCMPRouter(),
+            SimulationConfig(),
+        )
+        installed = cp.install_all(network)
+        assert installed == len(testbed_topology.dcs)
+        assert all(sw.router.installed for sw in network.switches.values())
+
+    def test_factory_provisions_each_instance(self, testbed_topology, testbed_paths):
+        factory = lcmp_router_factory(testbed_topology, testbed_paths, LCMPConfig())
+        router_a = factory("DC1")
+        router_b = factory("DC2")
+        assert router_a is not router_b
+        assert router_a.installed and router_b.installed

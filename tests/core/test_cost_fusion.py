@@ -1,0 +1,51 @@
+"""Tests for the fused cost C(p) = alpha*C_path + beta*C_cong (Eq. 1)."""
+
+import pytest
+
+from repro.core import LCMPConfig, PathCost, fuse_cost, score_candidates
+
+
+class TestFuseCost:
+    def test_eq1_default_weights(self):
+        cfg = LCMPConfig(alpha=3, beta=1)
+        assert fuse_cost(100, 40, cfg) == 3 * 100 + 40
+
+    def test_rm_alpha_uses_only_congestion(self):
+        cfg = LCMPConfig().ablate_path_quality()
+        assert fuse_cost(200, 50, cfg) == cfg.beta * 50
+
+    def test_rm_beta_uses_only_path_quality(self):
+        cfg = LCMPConfig().ablate_congestion()
+        assert fuse_cost(200, 50, cfg) == cfg.alpha * 200
+
+    def test_range_validation(self):
+        cfg = LCMPConfig()
+        with pytest.raises(ValueError):
+            fuse_cost(-1, 0, cfg)
+        with pytest.raises(ValueError):
+            fuse_cost(0, 300, cfg)
+
+
+class TestScoreCandidates:
+    def test_builds_path_costs(self, testbed_paths):
+        cfg = LCMPConfig()
+        cands = testbed_paths.candidates("DC1", "DC8")[:3]
+        costs = score_candidates(cands, [10, 20, 30], [0, 5, 200], cfg)
+        assert len(costs) == 3
+        assert all(isinstance(c, PathCost) for c in costs)
+        assert costs[0].fused == cfg.alpha * 10
+        assert costs[2].congestion == 200
+        assert costs[1].candidate is cands[1]
+
+    def test_length_mismatch_rejected(self, testbed_paths):
+        cfg = LCMPConfig()
+        cands = testbed_paths.candidates("DC1", "DC8")[:2]
+        with pytest.raises(ValueError):
+            score_candidates(cands, [1], [1, 2], cfg)
+
+    def test_ordering_follows_fused_cost(self, testbed_paths):
+        cfg = LCMPConfig(alpha=1, beta=1)
+        cands = testbed_paths.candidates("DC1", "DC8")[:3]
+        costs = score_candidates(cands, [100, 10, 50], [0, 0, 0], cfg)
+        ordered = sorted(costs, key=lambda c: c.fused)
+        assert [c.path_quality for c in ordered] == [10, 50, 100]

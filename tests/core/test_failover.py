@@ -1,0 +1,33 @@
+"""Tests for the port-liveness tracker used by data-plane fast-failover."""
+
+from repro.core import PortLivenessTracker
+
+
+class TestLiveness:
+    def test_unknown_ports_are_up(self):
+        tracker = PortLivenessTracker()
+        assert tracker.is_up("anything")
+
+    def test_mark_down_and_up(self):
+        tracker = PortLivenessTracker()
+        tracker.mark_down("DC3")
+        assert not tracker.is_up("DC3")
+        assert tracker.down_ports == {"DC3"}
+        tracker.mark_up("DC3")
+        assert tracker.is_up("DC3")
+        assert tracker.down_ports == set()
+
+    def test_observe_from_monitor_samples(self):
+        tracker = PortLivenessTracker()
+        tracker.observe("DC2", up=False)
+        tracker.observe("DC4", up=True)
+        assert not tracker.is_up("DC2")
+        assert tracker.is_up("DC4")
+        tracker.observe("DC2", up=True)
+        assert tracker.is_up("DC2")
+
+    def test_lazy_invalidation_counter(self):
+        tracker = PortLivenessTracker()
+        tracker.record_lazy_invalidation()
+        tracker.record_lazy_invalidation()
+        assert tracker.lazy_invalidations == 2

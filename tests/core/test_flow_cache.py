@@ -1,0 +1,119 @@
+"""Tests for the bounded flow cache (flow2output mapping + GC)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FlowCache
+
+
+class TestBasicOperations:
+    def test_miss_then_hit(self):
+        cache = FlowCache(capacity=10, idle_timeout_s=1.0)
+        assert cache.lookup(1, now=0.0) is None
+        cache.insert(1, "DC3", now=0.0)
+        entry = cache.lookup(1, now=0.5)
+        assert entry is not None
+        assert entry.out_port == "DC3"
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lookup_refreshes_last_seen(self):
+        cache = FlowCache(capacity=10, idle_timeout_s=1.0)
+        cache.insert(1, "DC3", now=0.0)
+        cache.lookup(1, now=5.0)
+        assert cache.lookup(1, now=5.5).last_seen_s == 5.5
+
+    def test_insert_overwrites_existing(self):
+        cache = FlowCache(capacity=10, idle_timeout_s=1.0)
+        cache.insert(1, "DC3", now=0.0)
+        cache.insert(1, "DC5", now=1.0)
+        assert len(cache) == 1
+        assert cache.lookup(1, now=1.0).out_port == "DC5"
+
+    def test_invalidate(self):
+        cache = FlowCache(capacity=10, idle_timeout_s=1.0)
+        cache.insert(1, "DC3", now=0.0)
+        assert cache.invalidate(1)
+        assert not cache.invalidate(1)
+        assert cache.lookup(1, now=0.0) is None
+
+    def test_contains_and_occupancy(self):
+        cache = FlowCache(capacity=4, idle_timeout_s=1.0)
+        cache.insert(1, "a", 0.0)
+        cache.insert(2, "b", 0.0)
+        assert 1 in cache and 3 not in cache
+        assert cache.occupancy == pytest.approx(0.5)
+
+
+class TestBoundedCapacity:
+    def test_lru_eviction_when_full(self):
+        cache = FlowCache(capacity=3, idle_timeout_s=100.0)
+        for flow_id in range(3):
+            cache.insert(flow_id, "p", now=float(flow_id))
+        cache.lookup(0, now=10.0)  # flow 0 becomes most recently seen
+        cache.insert(99, "p", now=11.0)
+        assert len(cache) == 3
+        assert 0 in cache
+        assert 1 not in cache  # the least recently seen entry was evicted
+        assert cache.evictions == 1
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            FlowCache(capacity=0)
+        with pytest.raises(ValueError):
+            FlowCache(capacity=10, idle_timeout_s=0)
+
+
+class TestGarbageCollection:
+    def test_idle_entries_evicted(self):
+        cache = FlowCache(capacity=100, idle_timeout_s=1.0)
+        cache.insert(1, "a", now=0.0)
+        cache.insert(2, "b", now=0.9)
+        evicted = cache.garbage_collect(now=1.5)
+        assert evicted == 1
+        assert 1 not in cache and 2 in cache
+        assert cache.gc_evictions == 1
+
+    def test_gc_noop_when_everything_fresh(self):
+        cache = FlowCache(capacity=100, idle_timeout_s=5.0)
+        for flow_id in range(10):
+            cache.insert(flow_id, "a", now=1.0)
+        assert cache.garbage_collect(now=2.0) == 0
+        assert len(cache) == 10
+
+    def test_gc_keeps_cache_bounded_over_time(self):
+        cache = FlowCache(capacity=1000, idle_timeout_s=0.5)
+        for epoch in range(5):
+            base = epoch * 100
+            for flow_id in range(base, base + 50):
+                cache.insert(flow_id, "a", now=epoch * 1.0)
+            cache.garbage_collect(now=epoch * 1.0)
+            assert len(cache) <= 100
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "lookup", "invalidate", "gc"]),
+            st.integers(min_value=0, max_value=30),
+        ),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_property_cache_never_exceeds_capacity(operations):
+    cache = FlowCache(capacity=8, idle_timeout_s=0.5)
+    now = 0.0
+    for op, flow_id in operations:
+        now += 0.05
+        if op == "insert":
+            cache.insert(flow_id, f"port{flow_id % 3}", now)
+        elif op == "lookup":
+            cache.lookup(flow_id, now)
+        elif op == "invalidate":
+            cache.invalidate(flow_id)
+        else:
+            cache.garbage_collect(now)
+        assert len(cache) <= 8
+        assert 0.0 <= cache.occupancy <= 1.0

@@ -1,0 +1,130 @@
+"""Tests for the path-quality score (Alg. 1, Alg. 2, Eq. 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LCMPConfig,
+    SwitchTables,
+    calc_delay_cost,
+    calc_link_cap_cost,
+    candidate_path_quality,
+    path_quality_score,
+)
+from repro.topology import GBPS
+
+
+class TestCalcDelayCost:
+    def test_zero_delay(self):
+        assert calc_delay_cost(0, max_delay_ms=32) == 0
+
+    def test_saturation_at_max(self):
+        assert calc_delay_cost(32, max_delay_ms=32) == 255
+        assert calc_delay_cost(500, max_delay_ms=32) == 255
+
+    def test_linear_shift_mapping(self):
+        # (16 * 255) >> 5 == 127 (half the configured maximum)
+        assert calc_delay_cost(16, max_delay_ms=32) == 127
+        assert calc_delay_cost(8, max_delay_ms=32) == 63
+
+    def test_larger_saturation_point(self):
+        # inter-DC deployments use e.g. 512 ms; 256 ms maps to half scale
+        assert calc_delay_cost(256, max_delay_ms=512) == 127
+        assert calc_delay_cost(512, max_delay_ms=512) == 255
+
+    def test_monotonic_in_delay(self):
+        scores = [calc_delay_cost(d, max_delay_ms=64) for d in range(0, 70, 2)]
+        assert scores == sorted(scores)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            calc_delay_cost(-1)
+        with pytest.raises(ValueError):
+            calc_delay_cost(1, max_delay_ms=100)  # not a power of two
+
+
+class TestCalcLinkCapCost:
+    @pytest.fixture
+    def tables(self, switch_tables):
+        return switch_tables
+
+    def test_higher_capacity_lower_cost(self, tables):
+        cost_40 = calc_link_cap_cost(40 * GBPS, tables.link_cap_thresholds, tables.level_scores)
+        cost_100 = calc_link_cap_cost(100 * GBPS, tables.link_cap_thresholds, tables.level_scores)
+        cost_200 = calc_link_cap_cost(200 * GBPS, tables.link_cap_thresholds, tables.level_scores)
+        cost_400 = calc_link_cap_cost(400 * GBPS, tables.link_cap_thresholds, tables.level_scores)
+        assert cost_40 > cost_100 > cost_200 > cost_400
+        for cost in (cost_40, cost_100, cost_200, cost_400):
+            assert 0 <= cost <= 255
+
+    def test_tiny_capacity_worst_cost(self, tables):
+        # below every non-zero threshold -> lands in class 0 -> cost 255
+        cost = calc_link_cap_cost(1, tables.link_cap_thresholds, tables.level_scores)
+        assert cost == 255
+
+    def test_mismatched_tables_rejected(self):
+        with pytest.raises(ValueError):
+            calc_link_cap_cost(1e9, [0, 1], [0])
+
+
+class TestPathQualityScore:
+    def test_eq2_weighting_and_shift(self):
+        cfg = LCMPConfig(w_dl=3, w_lc=1, path_shift=2)
+        # (3*100 + 1*60) >> 2 == 90
+        assert path_quality_score(100, 60, cfg) == 90
+
+    def test_saturates_at_255(self):
+        cfg = LCMPConfig(w_dl=3, w_lc=1, path_shift=0)
+        assert path_quality_score(255, 255, cfg) == 255
+
+    def test_component_range_checked(self):
+        cfg = LCMPConfig()
+        with pytest.raises(ValueError):
+            path_quality_score(300, 0, cfg)
+        with pytest.raises(ValueError):
+            path_quality_score(0, -1, cfg)
+
+
+class TestCandidatePathQuality:
+    def test_testbed_ranking_prefers_low_delay(self, testbed_paths, switch_tables):
+        """With the paper's delay-biased weights the three low-delay relays
+        (DC3, DC5, DC7) must rank strictly better than their high-delay
+        counterparts (DC2, DC4, DC6)."""
+        cfg = LCMPConfig()
+        cands = {c.first_hop: c for c in testbed_paths.candidates("DC1", "DC8")}
+        score = {
+            hop: candidate_path_quality(c, switch_tables, cfg) for hop, c in cands.items()
+        }
+        assert score["DC3"] < score["DC2"]
+        assert score["DC5"] < score["DC4"]
+        assert score["DC7"] < score["DC6"]
+        # and the extreme 500 ms route is the worst of all
+        assert score["DC2"] == max(score.values())
+
+    def test_capacity_bias_flips_ranking(self, testbed_paths, switch_tables):
+        """With w_dl:w_lc = 1:3 (capacity-biased, Fig. 11c) high-capacity
+        routes become more attractive than low-delay ones."""
+        cfg = LCMPConfig(w_dl=1, w_lc=3)
+        cands = {c.first_hop: c for c in testbed_paths.candidates("DC1", "DC8")}
+        score = {
+            hop: candidate_path_quality(c, switch_tables, cfg) for hop, c in cands.items()
+        }
+        # the 200G/25ms route must now beat the 40G/5ms route
+        assert score["DC3"] < score["DC7"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    delay_ms=st.integers(min_value=0, max_value=1000),
+    cap_gbps=st.sampled_from([10, 25, 40, 100, 200, 400]),
+)
+def test_property_scores_stay_in_byte_range(delay_ms, cap_gbps):
+    cfg = LCMPConfig()
+    tables = SwitchTables.bootstrap(cfg, max_capacity_bps=400 * GBPS, buffer_bytes=1 << 20)
+    delay_score = calc_delay_cost(delay_ms, cfg.max_delay_ms)
+    cap_score = calc_link_cap_cost(cap_gbps * GBPS, tables.link_cap_thresholds, tables.level_scores)
+    fused = path_quality_score(delay_score, cap_score, cfg)
+    assert 0 <= delay_score <= 255
+    assert 0 <= cap_score <= 255
+    assert 0 <= fused <= 255

@@ -1,0 +1,74 @@
+"""Tests for the §4 resource-cost accounting."""
+
+import pytest
+
+from repro.core import resource_model as rm
+
+
+class TestPerElementSizes:
+    def test_per_port_is_24_bytes(self):
+        # 4 x 32-bit registers + one 64-bit timestamp
+        assert rm.per_port_bytes() == 24
+
+    def test_per_flow_is_20_bytes(self):
+        # 64-bit flowId + 32-bit portIdx + 64-bit lastSeen
+        assert rm.per_flow_bytes() == 20
+
+
+class TestAggregates:
+    def test_48_port_cache_matches_paper(self):
+        # the paper's demonstration: 24 B/port x 48 ports = 1152 B
+        assert rm.port_cache_bytes(48) == 1152
+
+    def test_50k_flow_cache_about_one_megabyte(self):
+        """20 B/flow x 50,000 flows = 1.0 MB.
+
+        (The paper's §4 demonstration multiplies 24 B by 50 k and quotes
+        1.2 MB; with its own 20 B per-flow layout the figure is 1.0 MB —
+        either way the working set is around a megabyte.)
+        """
+        assert rm.flow_cache_bytes(50_000) == 1_000_000
+
+    def test_control_tables_small(self):
+        assert rm.control_table_bytes(num_classes=10, num_paths=10_000) == pytest.approx(
+            10_000 + 130, abs=50
+        )
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            rm.port_cache_bytes(-1)
+        with pytest.raises(ValueError):
+            rm.flow_cache_bytes(-1)
+        with pytest.raises(ValueError):
+            rm.control_table_bytes(-1, 0)
+
+
+class TestEstimate:
+    def test_example_deployment_within_switch_budget(self):
+        est = rm.estimate(num_ports=48, flow_cache_entries=50_000, num_paths=10_000)
+        assert est.total_megabytes < 2.0
+        assert est.total_bytes == est.port_bytes + est.flow_bytes + est.table_bytes
+        assert est.port_bytes == 1152
+
+    def test_scaling_with_flow_cache(self):
+        small = rm.estimate(flow_cache_entries=10_000)
+        large = rm.estimate(flow_cache_entries=100_000)
+        assert large.flow_bytes == 10 * small.flow_bytes
+
+
+class TestPerFlowCompute:
+    def test_paper_example_m6_about_100_primitives(self):
+        # §4: ~15 primitives per candidate x 6 + ~15 sort comparisons ~= 105
+        ops = rm.per_new_flow_ops(6)
+        assert 95 <= ops <= 115
+
+    def test_monotonic_in_candidates(self):
+        values = [rm.per_new_flow_ops(m) for m in range(1, 9)]
+        assert values == sorted(values)
+
+    def test_single_candidate_has_no_sort_cost(self):
+        assert rm.per_new_flow_ops(1) == 15
+
+    def test_invalid_candidate_count(self):
+        with pytest.raises(ValueError):
+            rm.per_new_flow_ops(0)

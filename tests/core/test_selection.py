@@ -1,0 +1,125 @@
+"""Tests for the diversity-preserving two-stage selection (paper §3.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LCMPConfig, filter_candidates, select_path
+from repro.core.cost_fusion import PathCost
+from repro import topology as _topology
+
+#: module-level path set reused by the hypothesis property test (building the
+#: topology once keeps the property test fast)
+_PATHS = _topology.testbed8_pathset(_topology.build_testbed8())
+
+
+def make_costs(testbed_paths, fused_values, congestion_values=None):
+    cands = testbed_paths.candidates("DC1", "DC8")
+    assert len(fused_values) <= len(cands)
+    congestion_values = congestion_values or [0] * len(fused_values)
+    return [
+        PathCost(candidate=cands[i], path_quality=0, congestion=congestion_values[i], fused=fused_values[i])
+        for i in range(len(fused_values))
+    ]
+
+
+class TestFilter:
+    def test_keeps_low_cost_half(self, testbed_paths):
+        costs = make_costs(testbed_paths, [60, 10, 40, 90, 20, 70])
+        reduced = filter_candidates(costs, keep_fraction=0.5)
+        assert len(reduced) == 3
+        assert [c.fused for c in reduced] == [10, 20, 40]
+
+    def test_always_keeps_at_least_one(self, testbed_paths):
+        costs = make_costs(testbed_paths, [50])
+        assert len(filter_candidates(costs, keep_fraction=0.1)) == 1
+
+    def test_keep_fraction_one_keeps_all(self, testbed_paths):
+        costs = make_costs(testbed_paths, [3, 2, 1])
+        assert len(filter_candidates(costs, keep_fraction=1.0)) == 3
+
+    def test_invalid_inputs(self, testbed_paths):
+        with pytest.raises(ValueError):
+            filter_candidates([], 0.5)
+        costs = make_costs(testbed_paths, [1, 2])
+        with pytest.raises(ValueError):
+            filter_candidates(costs, 0)
+
+
+class TestSelect:
+    def test_chosen_is_from_reduced_set(self, testbed_paths):
+        cfg = LCMPConfig()
+        costs = make_costs(testbed_paths, [60, 10, 40, 90, 20, 70])
+        outcome = select_path(costs, flow_id=1234, config=cfg)
+        assert outcome.chosen in outcome.reduced_set
+        assert not outcome.all_congested
+        assert len(outcome.reduced_set) == 3
+
+    def test_diversity_across_flow_ids(self, testbed_paths):
+        """The herd-mitigation property: a burst of simultaneous new flows is
+        spread over *all* members of the low-cost set, not just the single
+        cheapest path."""
+        cfg = LCMPConfig()
+        costs = make_costs(testbed_paths, [60, 10, 40, 90, 20, 70])
+        chosen_hops = {
+            select_path(costs, flow_id=i, config=cfg).chosen.candidate.first_hop
+            for i in range(200)
+        }
+        reduced_hops = {
+            c.candidate.first_hop for c in filter_candidates(costs, cfg.keep_fraction)
+        }
+        assert chosen_hops == reduced_hops
+
+    def test_selection_deterministic_per_flow(self, testbed_paths):
+        cfg = LCMPConfig()
+        costs = make_costs(testbed_paths, [60, 10, 40, 90, 20, 70])
+        first = select_path(costs, flow_id=77, config=cfg).chosen
+        second = select_path(costs, flow_id=77, config=cfg).chosen
+        assert first.candidate.dcs == second.candidate.dcs
+
+    def test_all_congested_falls_back_to_min_cost(self, testbed_paths):
+        cfg = LCMPConfig(congested_threshold=200)
+        costs = make_costs(
+            testbed_paths,
+            fused_values=[900, 500, 700],
+            congestion_values=[250, 210, 255],
+        )
+        outcome = select_path(costs, flow_id=5, config=cfg)
+        assert outcome.all_congested
+        assert outcome.chosen.fused == 500
+        assert outcome.reduced_set == [outcome.chosen]
+
+    def test_not_all_congested_keeps_diversity(self, testbed_paths):
+        cfg = LCMPConfig(congested_threshold=200)
+        costs = make_costs(
+            testbed_paths,
+            fused_values=[900, 500, 700],
+            congestion_values=[250, 10, 255],
+        )
+        outcome = select_path(costs, flow_id=5, config=cfg)
+        assert not outcome.all_congested
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            select_path([], 1, LCMPConfig())
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    fused=st.lists(st.integers(min_value=0, max_value=1020), min_size=1, max_size=6),
+    flow_id=st.integers(min_value=0, max_value=2**32 - 1),
+    keep=st.floats(min_value=0.1, max_value=1.0),
+)
+def test_property_selection_invariants(fused, flow_id, keep):
+    """Property: the chosen path always belongs to the low-cost prefix."""
+    cands = _PATHS.candidates("DC1", "DC8")[: len(fused)]
+    costs = [
+        PathCost(candidate=cands[i], path_quality=0, congestion=0, fused=fused[i])
+        for i in range(len(cands))
+    ]
+    cfg = LCMPConfig(keep_fraction=keep)
+    outcome = select_path(costs, flow_id, cfg)
+    max_kept_cost = max(c.fused for c in outcome.reduced_set)
+    dropped = [c for c in costs if c not in outcome.reduced_set]
+    assert all(c.fused >= max_kept_cost or c in outcome.reduced_set for c in costs)
+    assert outcome.chosen in outcome.reduced_set

@@ -1,0 +1,116 @@
+"""Tests for the bootstrap switch tables (paper Fig. 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LCMPConfig, SwitchTables, lookup_level
+from repro.topology import GBPS
+
+
+class TestLookupLevel:
+    def test_basic_lookup(self):
+        thresholds = [0, 10, 20, 30]
+        assert lookup_level(0, thresholds) == 0
+        assert lookup_level(5, thresholds) == 0
+        assert lookup_level(10, thresholds) == 1
+        assert lookup_level(29, thresholds) == 2
+        assert lookup_level(1000, thresholds) == 3
+
+
+class TestBootstrap:
+    def test_table_shapes(self, switch_tables, lcmp_config):
+        n = lcmp_config.num_levels
+        assert len(switch_tables.link_cap_thresholds) == n
+        assert len(switch_tables.queue_thresholds) == n
+        assert len(switch_tables.level_scores) == n
+        assert set(switch_tables.trend_thresholds)  # pre-installed buckets
+
+    def test_level_scores_monotonic_within_byte(self, switch_tables):
+        scores = switch_tables.level_scores
+        assert scores[0] == 0
+        assert scores == sorted(scores)
+        assert all(0 <= s <= 255 for s in scores)
+
+    def test_capacity_thresholds_proportional_to_max(self, switch_tables):
+        thresholds = switch_tables.link_cap_thresholds
+        assert thresholds[0] == 0
+        assert thresholds[-1] == pytest.approx(0.9 * 400 * GBPS)
+
+    def test_invalid_bootstrap_arguments(self, lcmp_config):
+        with pytest.raises(ValueError):
+            SwitchTables.bootstrap(lcmp_config, max_capacity_bps=0, buffer_bytes=1)
+        with pytest.raises(ValueError):
+            SwitchTables.bootstrap(lcmp_config, max_capacity_bps=1, buffer_bytes=0)
+
+
+class TestQueueMapping:
+    def test_queue_level_quantisation(self, switch_tables):
+        buffer_bytes = switch_tables.buffer_bytes
+        assert switch_tables.queue_level(0) == 0
+        assert switch_tables.queue_level(buffer_bytes * 0.55) == 5
+        assert switch_tables.queue_level(buffer_bytes * 2) == 9
+
+    def test_level_score_saturates(self, switch_tables):
+        assert switch_tables.level_score(-5) == switch_tables.level_scores[0]
+        assert switch_tables.level_score(99) == switch_tables.level_scores[-1]
+
+
+class TestCapacityMapping:
+    def test_capacity_level_ordering(self, switch_tables):
+        low = switch_tables.capacity_level(40 * GBPS)
+        mid = switch_tables.capacity_level(100 * GBPS)
+        high = switch_tables.capacity_level(400 * GBPS)
+        assert low < mid < high
+
+
+class TestTrendTables:
+    def test_preinstalled_buckets(self, switch_tables):
+        assert switch_tables.trend_thresholds_for(100 * GBPS)
+        # asking again returns the same vector (no duplicate work)
+        first = switch_tables.trend_thresholds_for(100 * GBPS)
+        second = switch_tables.trend_thresholds_for(100 * GBPS)
+        assert first is second
+
+    def test_on_demand_bucket_creation(self, switch_tables):
+        # 25 GbE was not pre-installed; the data plane creates it on demand
+        vector = switch_tables.trend_thresholds_for(25 * GBPS)
+        assert len(vector) == switch_tables.config.num_levels
+        assert vector[0] == 0
+
+    def test_trend_level_zero_for_non_positive(self, switch_tables):
+        assert switch_tables.trend_level(0, 100 * GBPS) == 0
+        assert switch_tables.trend_level(-1000, 100 * GBPS) == 0
+
+    def test_trend_level_scales_with_rate_bucket(self, switch_tables):
+        growth = 100_000  # bytes per sampling interval
+        level_small_link = switch_tables.trend_level(growth, 40 * GBPS)
+        level_big_link = switch_tables.trend_level(growth, 400 * GBPS)
+        assert level_small_link >= level_big_link
+
+    def test_trend_level_interval_rescaling(self, switch_tables):
+        growth = 200_000
+        # the same growth observed over half the nominal interval is twice as
+        # steep, so it must map to an equal-or-higher level
+        nominal = switch_tables.trend_level(growth, 100 * GBPS, interval_s=1e-3)
+        faster = switch_tables.trend_level(growth, 100 * GBPS, interval_s=0.5e-3)
+        assert faster >= nominal
+
+    def test_invalid_rate_rejected(self, switch_tables):
+        with pytest.raises(ValueError):
+            switch_tables.trend_thresholds_for(0)
+
+    def test_memory_footprint_small(self, switch_tables):
+        # a few vectors of a few dozen entries: well under a kilobyte
+        assert switch_tables.memory_bytes() < 1024
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=st.floats(min_value=0, max_value=1e12, allow_nan=False))
+def test_property_levels_are_valid_indices(value):
+    tables = SwitchTables.bootstrap(
+        LCMPConfig(), max_capacity_bps=400 * GBPS, buffer_bytes=1_000_000
+    )
+    level = tables.queue_level(value)
+    assert 0 <= level < tables.config.num_levels
+    assert 0 <= tables.level_score(level) <= 255

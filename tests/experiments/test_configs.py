@@ -1,0 +1,57 @@
+"""Tests for experiment specifications."""
+
+import pytest
+
+from repro.core import LCMPConfig
+from repro.experiments import (
+    ALL_ROUTERS,
+    CC_NAMES,
+    LOADS,
+    TESTBED_ENDPOINT_PAIRS,
+    WORKLOAD_NAMES,
+    ExperimentSpec,
+)
+
+
+class TestConstants:
+    def test_paper_loads(self):
+        assert LOADS == (0.3, 0.5, 0.8)
+
+    def test_all_routers_includes_lcmp_and_baselines(self):
+        assert "lcmp" in ALL_ROUTERS
+        assert {"ecmp", "ucmp", "redte"} <= set(ALL_ROUTERS)
+
+    def test_workloads_and_ccs(self):
+        assert set(WORKLOAD_NAMES) == {"websearch", "alistorage", "fbhadoop"}
+        assert set(CC_NAMES) == {"dcqcn", "hpcc", "timely", "dctcp"}
+
+    def test_testbed_endpoints(self):
+        assert TESTBED_ENDPOINT_PAIRS == (("DC1", "DC8"), ("DC8", "DC1"))
+
+
+class TestSpec:
+    def test_defaults_validate(self):
+        ExperimentSpec(name="x").validate()
+
+    def test_with_overrides(self):
+        spec = ExperimentSpec(name="x")
+        changed = spec.with_overrides(router="ecmp", load=0.8)
+        assert changed.router == "ecmp" and changed.load == 0.8
+        assert spec.router == "lcmp"
+
+    def test_invalid_topology(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", topology="fat-tree").validate()
+
+    def test_invalid_load_and_flows(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", load=0).validate()
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", num_flows=0).validate()
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", capacity_scale=0).validate()
+
+    def test_carries_lcmp_config(self):
+        cfg = LCMPConfig(alpha=1, beta=3)
+        spec = ExperimentSpec(name="x", lcmp_config=cfg)
+        assert spec.lcmp_config.alpha == 1

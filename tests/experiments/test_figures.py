@@ -1,0 +1,73 @@
+"""Tests for the per-figure experiment drivers (quick, shape-level checks)."""
+
+import pytest
+
+from repro.experiments import (
+    ALL_FIGURES,
+    ExperimentRunner,
+    figure1,
+    figure5,
+    figure6,
+    figure9,
+    figure11_ablation,
+    section4_resources,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner()
+
+
+class TestRegistry:
+    def test_every_paper_figure_has_a_driver(self):
+        expected = {"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+                    "fig11a", "fig11b", "fig11c", "fig11d", "sec4"}
+        assert expected <= set(ALL_FIGURES)
+
+
+class TestSection4:
+    def test_resource_metrics(self):
+        result = section4_resources()
+        assert result.metrics["per_port_bytes"] == 24
+        assert result.metrics["per_flow_bytes"] == 20
+        assert result.metrics["total_megabytes"] < 2.0
+        assert 90 <= result.metrics["ops_per_new_flow_m6"] <= 120
+        assert "resource accounting" in result.tables
+        assert "sec4" in result.render()
+
+
+class TestQuickFigureRuns:
+    """Tiny flow counts: these verify plumbing and output structure, not the
+    full paper-scale numbers (the benchmarks regenerate those)."""
+
+    def test_figure1_structure(self, runner):
+        result = figure1(num_flows=150, runner=runner)
+        assert "30% load" in result.groups
+        assert {"lcmp", "ecmp", "ucmp"} <= set(result.groups["30% load"])
+        assert "per-link utilisation (DC1 egress)" in result.tables
+        assert "imbalance_ecmp" in result.metrics
+        rendered = result.render()
+        assert "P50" in rendered and "P99" in rendered
+
+    def test_figure5_single_load(self, runner):
+        result = figure5(num_flows=150, loads=[0.3], runner=runner)
+        group = "30% load"
+        assert set(result.groups[group]) >= {"lcmp", "ecmp", "ucmp", "redte"}
+        assert f"{group}_p50_reduction_vs_ecmp" in result.metrics
+
+    def test_figure6_correlations_present(self, runner):
+        result = figure6(num_flows=200, runner=runner)
+        assert "pearson_p50" in result.metrics
+        assert "pearson_p99" in result.metrics
+        assert -1.0 <= result.metrics["pearson_p50"] <= 1.0
+
+    def test_figure9_workload_groups(self, runner):
+        result = figure9(num_flows=150, workloads=["websearch", "alistorage"], runner=runner)
+        assert set(result.groups) == {"websearch", "alistorage"}
+
+    def test_figure11_ablation_variants(self, runner):
+        result = figure11_ablation(num_flows=150, runner=runner)
+        series = result.groups["30% load"]
+        assert set(series) == {"full", "rm-alpha", "rm-beta"}
+        assert "p99_full" in result.metrics

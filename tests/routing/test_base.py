@@ -1,0 +1,59 @@
+"""Tests for the router registry and the flow hash."""
+
+import pytest
+
+from repro.routing import Router, available_routers, flow_hash, make_router_factory
+
+
+class TestFlowHash:
+    def test_deterministic(self):
+        assert flow_hash(42) == flow_hash(42)
+        assert flow_hash(42, salt=7) == flow_hash(42, salt=7)
+
+    def test_salt_changes_mapping(self):
+        values_a = [flow_hash(i, salt=1) for i in range(100)]
+        values_b = [flow_hash(i, salt=2) for i in range(100)]
+        assert values_a != values_b
+
+    def test_32_bit_range(self):
+        for i in range(0, 10_000, 97):
+            assert 0 <= flow_hash(i) <= 0xFFFFFFFF
+
+    def test_disperses_consecutive_ids(self):
+        """Consecutive flow ids (as the traffic generator produces) must
+        spread roughly evenly across a small number of buckets."""
+        buckets = [0] * 6
+        for i in range(6000):
+            buckets[flow_hash(i) % 6] += 1
+        assert min(buckets) > 700  # perfectly even would be 1000 each
+
+
+class TestRegistry:
+    def test_all_expected_routers_registered(self):
+        names = available_routers()
+        for expected in ("ecmp", "wcmp", "ucmp", "redte", "lcmp"):
+            assert expected in names
+
+    def test_factory_builds_fresh_instances(self):
+        factory = make_router_factory("ecmp")
+        a, b = factory("DC1"), factory("DC2")
+        assert a is not b
+        assert a.name == "ecmp"
+
+    def test_unknown_router_rejected(self):
+        with pytest.raises(KeyError):
+            make_router_factory("ospf")
+
+    def test_factory_forwards_params(self):
+        factory = make_router_factory("ecmp", salt=123)
+        assert factory("DC1").salt == 123
+
+    def test_router_base_attach(self):
+        class Dummy(Router):
+            name = "dummy-test"
+
+            def select(self, dst_dc, candidates, demand, now):
+                return candidates[0]
+
+        router = Dummy()
+        assert router.switch_name == ""

@@ -1,0 +1,42 @@
+"""Tests for ECMP: oblivious, deterministic hashing."""
+
+from collections import Counter
+
+from repro.routing import ECMPRouter
+from repro.simulator import FlowDemand
+
+
+def demand(flow_id):
+    return FlowDemand(flow_id, "DC1", "DC8", 0, 0, 1_000, 0.0)
+
+
+class TestECMP:
+    def test_deterministic_per_flow(self, testbed_paths):
+        router = ECMPRouter()
+        candidates = testbed_paths.candidates("DC1", "DC8")
+        first = router.select("DC8", candidates, demand(7), now=0.0)
+        second = router.select("DC8", candidates, demand(7), now=5.0)
+        assert first is second
+
+    def test_spreads_over_all_candidates(self, testbed_paths):
+        """ECMP is oblivious: over many flows every candidate is used,
+        including the high-delay ones (the paper's motivation)."""
+        router = ECMPRouter()
+        candidates = testbed_paths.candidates("DC1", "DC8")
+        counts = Counter(
+            router.select("DC8", candidates, demand(i), now=0.0).first_hop
+            for i in range(600)
+        )
+        assert set(counts) == {c.first_hop for c in candidates}
+        # roughly uniform: no relay gets less than half its fair share
+        assert min(counts.values()) > 600 / 6 / 2
+
+    def test_ignores_congestion_hooks(self, testbed_paths):
+        router = ECMPRouter()
+        router.on_tick(0.0)  # no-ops must not raise
+        assert router.decisions == 0
+
+    def test_single_candidate(self, testbed_paths):
+        router = ECMPRouter()
+        candidates = testbed_paths.candidates("DC1", "DC4")
+        assert router.select("DC4", candidates, demand(1), now=0.0) is candidates[0]

@@ -1,0 +1,47 @@
+"""Tests for the UCMP reproduction: capacity-first unified cost."""
+
+from collections import Counter
+
+from repro.routing import UCMPRouter
+from repro.simulator import FlowDemand
+
+
+def demand(flow_id):
+    return FlowDemand(flow_id, "DC1", "DC8", 0, 0, 1_000, 0.0)
+
+
+class TestUCMP:
+    def test_only_top_capacity_class_used(self, testbed_paths):
+        """UCMP's capacity bias: all flows land on the two 200 Gbps relays
+        and the 40/100 Gbps relays see zero traffic (Fig. 1b shows exactly
+        this 0 % utilisation pattern)."""
+        router = UCMPRouter()
+        candidates = testbed_paths.candidates("DC1", "DC8")
+        counts = Counter(
+            router.select("DC8", candidates, demand(i), 0.0).first_hop for i in range(500)
+        )
+        assert set(counts) == {"DC2", "DC3"}
+
+    def test_unified_cost_prefers_capacity(self, testbed_paths):
+        router = UCMPRouter()
+        candidates = {c.first_hop: c for c in testbed_paths.candidates("DC1", "DC8")}
+        assert router.unified_cost(candidates["DC2"]) < router.unified_cost(candidates["DC7"])
+
+    def test_delay_breaks_ties_within_class(self, testbed_paths):
+        router = UCMPRouter()
+        candidates = {c.first_hop: c for c in testbed_paths.candidates("DC1", "DC8")}
+        # same 200G capacity class: the 50 ms route costs less than the 500 ms one
+        assert router.unified_cost(candidates["DC3"]) < router.unified_cost(candidates["DC2"])
+
+    def test_deterministic_per_flow(self, testbed_paths):
+        router = UCMPRouter()
+        candidates = testbed_paths.candidates("DC1", "DC8")
+        assert (
+            router.select("DC8", candidates, demand(11), 0.0)
+            is router.select("DC8", candidates, demand(11), 9.0)
+        )
+
+    def test_single_candidate_class(self, testbed_paths):
+        router = UCMPRouter()
+        candidates = testbed_paths.candidates("DC1", "DC4")  # single path
+        assert router.select("DC4", candidates, demand(1), 0.0) is candidates[0]

@@ -1,0 +1,40 @@
+"""Tests for WCMP: static capacity-weighted hashing."""
+
+from collections import Counter
+
+from repro.routing import WCMPRouter
+from repro.simulator import FlowDemand
+
+
+def demand(flow_id):
+    return FlowDemand(flow_id, "DC1", "DC8", 0, 0, 1_000, 0.0)
+
+
+class TestWCMP:
+    def test_deterministic_per_flow(self, testbed_paths):
+        router = WCMPRouter()
+        candidates = testbed_paths.candidates("DC1", "DC8")
+        assert (
+            router.select("DC8", candidates, demand(3), 0.0)
+            is router.select("DC8", candidates, demand(3), 1.0)
+        )
+
+    def test_allocation_proportional_to_capacity(self, testbed_paths):
+        router = WCMPRouter()
+        candidates = testbed_paths.candidates("DC1", "DC8")
+        counts = Counter(
+            router.select("DC8", candidates, demand(i), 0.0).first_hop for i in range(6000)
+        )
+        # 200G relays (DC2, DC3) should each carry roughly 5x the flows of a
+        # 40G relay (DC6, DC7)
+        high = (counts["DC2"] + counts["DC3"]) / 2
+        low = (counts["DC6"] + counts["DC7"]) / 2
+        assert 3.0 < high / low < 8.0
+
+    def test_every_candidate_reachable(self, testbed_paths):
+        router = WCMPRouter()
+        candidates = testbed_paths.candidates("DC1", "DC8")
+        chosen = {
+            router.select("DC8", candidates, demand(i), 0.0).first_hop for i in range(6000)
+        }
+        assert chosen == {c.first_hop for c in candidates}

@@ -1,0 +1,146 @@
+"""Unit and property tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import SimulationEngine, SimulationError
+from repro.simulator.engine import EventQueue
+
+
+class TestEventQueue:
+    def test_pop_order(self):
+        q = EventQueue()
+        q.push(2.0, lambda: None)
+        q.push(1.0, lambda: None)
+        q.push(3.0, lambda: None)
+        assert q.pop().time == 1.0
+        assert q.pop().time == 2.0
+        assert q.pop().time == 3.0
+        assert q.pop() is None
+
+    def test_same_time_fifo(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        second = q.push(1.0, lambda: None)
+        assert q.pop() is first
+        assert q.pop() is second
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        event.cancel()
+        assert len(q) == 1
+        assert q.pop().time == 2.0
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.push(5.0, lambda: None)
+        event.cancel()
+        assert q.peek_time() == 5.0
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(1.0))
+        engine.schedule(0.5, lambda: seen.append(0.5))
+        engine.schedule(0.75, lambda: seen.append(0.75))
+        engine.run()
+        assert seen == [0.5, 0.75, 1.0]
+        assert engine.now == 1.0
+        assert engine.processed_events == 3
+
+    def test_schedule_in_past_rejected(self):
+        engine = SimulationEngine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            engine.schedule(5.0, lambda: None)
+
+    def test_schedule_after(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule_after(0.25, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [0.25]
+        with pytest.raises(SimulationError):
+            engine.schedule_after(-1, lambda: None)
+
+    def test_run_until_advances_clock(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run(until=5.0)
+        assert engine.now == 5.0
+
+    def test_run_until_excludes_later_events(self):
+        engine = SimulationEngine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append("early"))
+        engine.schedule(10.0, lambda: seen.append("late"))
+        engine.run(until=5.0)
+        assert seen == ["early"]
+        assert engine.pending_events == 1
+
+    def test_stop_preserves_clock(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: engine.stop())
+        engine.schedule(2.0, lambda: None)
+        engine.run(until=100.0)
+        # stopped early: the clock stays at the stopping event, not at `until`
+        assert engine.now == 1.0
+
+    def test_periodic_scheduling(self):
+        engine = SimulationEngine()
+        ticks = []
+        engine.schedule_periodic(0.1, lambda: ticks.append(round(engine.now, 3)))
+        engine.run(until=0.55)
+        assert ticks == [0.1, 0.2, 0.3, 0.4, 0.5]
+
+    def test_periodic_with_until_bound(self):
+        engine = SimulationEngine()
+        ticks = []
+        # binary-representable interval so the recurrence accumulates no
+        # floating-point error against the bound
+        engine.schedule_periodic(0.125, lambda: ticks.append(engine.now), until=0.375)
+        engine.run(until=10.0)
+        assert len(ticks) == 3
+
+    def test_periodic_invalid_interval(self):
+        engine = SimulationEngine()
+        with pytest.raises(SimulationError):
+            engine.schedule_periodic(0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def chain():
+            seen.append(engine.now)
+            if len(seen) < 4:
+                engine.schedule_after(0.5, chain)
+
+        engine.schedule(0.0, chain)
+        engine.run()
+        assert seen == [0.0, 0.5, 1.0, 1.5]
+
+    def test_max_events(self):
+        engine = SimulationEngine()
+        for i in range(10):
+            engine.schedule(float(i), lambda: None)
+        engine.run(max_events=3)
+        assert engine.processed_events == 3
+
+
+@settings(max_examples=50, deadline=None)
+@given(times=st.lists(st.floats(min_value=0, max_value=1000, allow_nan=False), min_size=1, max_size=40))
+def test_property_events_execute_in_nondecreasing_time(times):
+    """Property: regardless of scheduling order, execution times are sorted."""
+    engine = SimulationEngine()
+    fired = []
+    for t in times:
+        engine.schedule(t, (lambda tt=t: fired.append(tt)))
+    engine.run()
+    assert fired == sorted(times)
+    assert len(fired) == len(times)

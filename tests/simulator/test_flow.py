@@ -1,0 +1,120 @@
+"""Unit tests for flow demands, runtime flows and feedback delivery."""
+
+import pytest
+
+from repro.congestion_control import FixedRate
+from repro.simulator import FeedbackSignal, Flow, FlowDemand, RuntimeLink
+from repro.topology.graph import LinkSpec
+
+
+def make_demand(**overrides) -> FlowDemand:
+    base = dict(
+        flow_id=1,
+        src_dc="DC1",
+        dst_dc="DC2",
+        src_host=0,
+        dst_host=1,
+        size_bytes=1_000_000,
+        arrival_s=0.0,
+    )
+    base.update(overrides)
+    return FlowDemand(**base)
+
+
+def make_link(cap_bps=1e9, delay_s=0.005) -> RuntimeLink:
+    spec = LinkSpec("A", "B", cap_bps, delay_s, 1_000_000, True)
+    return RuntimeLink(spec)
+
+
+def make_flow(size_bytes=1_000_000, rate=1e9) -> Flow:
+    demand = make_demand(size_bytes=size_bytes)
+    link = make_link()
+    cc = FixedRate(rate, 0.01)
+    return Flow(demand, [link], cc, base_rtt_s=0.01)
+
+
+class TestFlowDemand:
+    def test_valid_demand(self):
+        demand = make_demand()
+        assert demand.size_bytes == 1_000_000
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            make_demand(size_bytes=0)
+
+    def test_invalid_arrival(self):
+        with pytest.raises(ValueError):
+            make_demand(arrival_s=-1)
+
+    def test_self_flow_rejected(self):
+        with pytest.raises(ValueError):
+            make_demand(dst_dc="DC1", dst_host=0)
+
+    def test_same_dc_different_host_allowed(self):
+        demand = make_demand(dst_dc="DC1", dst_host=3)
+        assert demand.dst_host == 3
+
+
+class TestFlowProgress:
+    def test_transfer_decrements_remaining(self):
+        flow = make_flow(size_bytes=1_000_000)
+        sent = flow.transfer(achieved_bps=8e6, dt=0.5)  # 500 kB
+        assert sent == pytest.approx(500_000)
+        assert flow.remaining_bytes == pytest.approx(500_000)
+        assert not flow.completed
+
+    def test_transfer_never_overshoots(self):
+        flow = make_flow(size_bytes=1_000)
+        sent = flow.transfer(achieved_bps=1e9, dt=1.0)
+        assert sent == 1_000
+        assert flow.completed
+
+    def test_fct_includes_propagation(self):
+        flow = make_flow(size_bytes=1_000)
+        flow.transfer(1e9, 1.0)
+        flow.mark_finished(now=2.0)
+        # one-way delay of the single 5 ms link is added
+        assert flow.fct_s() == pytest.approx(2.0 + 0.005 - flow.start_s)
+
+    def test_fct_before_completion_raises(self):
+        flow = make_flow()
+        with pytest.raises(RuntimeError):
+            flow.fct_s()
+
+    def test_mark_finished_idempotent(self):
+        flow = make_flow(size_bytes=1)
+        flow.transfer(1e9, 1.0)
+        flow.mark_finished(1.0)
+        first = flow.finish_s
+        flow.mark_finished(5.0)
+        assert flow.finish_s == first
+
+
+class TestFeedback:
+    def signal(self, t):
+        return FeedbackSignal(
+            generated_s=t, ecn_fraction=0.5, max_utilization=1.2, rtt_s=0.02, queue_delay_s=0.01
+        )
+
+    def test_feedback_delivered_only_when_due(self):
+        flow = make_flow()
+        flow.enqueue_feedback(self.signal(0.0), deliver_s=0.5)
+        assert flow.deliver_due_feedback(now=0.1) == 0
+        assert flow.cc.feedback_count == 0
+        assert flow.deliver_due_feedback(now=0.5) == 1
+        assert flow.cc.feedback_count == 1
+
+    def test_feedback_delivered_in_order(self):
+        flow = make_flow()
+        flow.enqueue_feedback(self.signal(0.0), deliver_s=0.3)
+        flow.enqueue_feedback(self.signal(0.1), deliver_s=0.2)
+        delivered = flow.deliver_due_feedback(now=1.0)
+        assert delivered == 2
+        assert flow.cc.feedback_count == 2
+
+    def test_inter_dc_links_property(self):
+        demand = make_demand()
+        intra_spec = LinkSpec("h", "A", 1e9, 1e-6, 1_000, False)
+        inter = make_link()
+        flow = Flow(demand, [RuntimeLink(intra_spec), inter], FixedRate(1e9, 0.01), 0.01)
+        assert flow.inter_dc_links == (inter,)

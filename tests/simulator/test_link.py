@@ -1,0 +1,115 @@
+"""Unit and property tests for the runtime link (egress-port) model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import RuntimeLink
+from repro.topology.graph import LinkSpec
+
+
+def make_link(cap_bps=1e9, buffer_bytes=1_000_000, **kwargs) -> RuntimeLink:
+    spec = LinkSpec(
+        src="A",
+        dst="B",
+        cap_bps=cap_bps,
+        delay_s=0.005,
+        buffer_bytes=buffer_bytes,
+        inter_dc=True,
+    )
+    return RuntimeLink(spec, **kwargs)
+
+
+class TestIntegration:
+    def test_underload_leaves_queue_empty(self):
+        link = make_link(cap_bps=1e9)
+        link.integrate(offered_bps=0.5e9, dt=0.01)
+        assert link.queue_bytes == 0.0
+        assert link.carried_bytes == pytest.approx(0.5e9 * 0.01 / 8)
+
+    def test_overload_builds_queue(self):
+        link = make_link(cap_bps=1e9)
+        link.integrate(offered_bps=2e9, dt=0.01)
+        # surplus of 1 Gbps for 10 ms = 1.25 MB, capped at the 1 MB buffer
+        assert link.queue_bytes == pytest.approx(1_000_000)
+        assert link.dropped_bytes > 0
+
+    def test_queue_drains_when_load_drops(self):
+        link = make_link(cap_bps=1e9, buffer_bytes=10_000_000)
+        link.integrate(offered_bps=2e9, dt=0.01)
+        q_after_burst = link.queue_bytes
+        link.integrate(offered_bps=0.0, dt=0.005)
+        assert link.queue_bytes < q_after_burst
+        link.integrate(offered_bps=0.0, dt=10.0)
+        assert link.queue_bytes == 0.0
+
+    def test_peak_queue_tracked(self):
+        link = make_link(cap_bps=1e9, buffer_bytes=10_000_000)
+        link.integrate(offered_bps=3e9, dt=0.01)
+        peak = link.peak_queue_bytes
+        link.integrate(offered_bps=0.0, dt=10.0)
+        assert link.peak_queue_bytes == peak > 0
+
+    def test_down_port_carries_nothing(self):
+        link = make_link()
+        link.fail()
+        carried_fraction = link.integrate(offered_bps=1e9, dt=0.01)
+        assert carried_fraction == 0.0
+        assert link.carried_bytes == 0.0
+        link.recover()
+        assert link.up
+
+    def test_carried_fraction_bounds(self):
+        link = make_link()
+        assert link.integrate(offered_bps=0.0, dt=0.01) == 1.0
+        fraction = link.integrate(offered_bps=100e9, dt=0.1)
+        assert 0.0 <= fraction <= 1.0
+
+
+class TestSignals:
+    def test_ecn_profile(self):
+        link = make_link(buffer_bytes=1_000_000, ecn_kmin_fraction=0.1, ecn_kmax_fraction=0.5, ecn_pmax=0.2)
+        link.queue_bytes = 0
+        assert link.ecn_mark_probability() == 0.0
+        link.queue_bytes = 50_000  # below kmin (100 kB)
+        assert link.ecn_mark_probability() == 0.0
+        link.queue_bytes = 300_000  # halfway between kmin and kmax
+        assert 0.0 < link.ecn_mark_probability() < 0.2
+        link.queue_bytes = 600_000  # above kmax (500 kB)
+        assert link.ecn_mark_probability() == 1.0
+
+    def test_queueing_delay(self):
+        link = make_link(cap_bps=1e9)
+        link.queue_bytes = 125_000  # 1 Mbit at 1 Gbps -> 1 ms
+        assert link.queueing_delay_s() == pytest.approx(1e-3)
+
+    def test_utilization(self):
+        link = make_link(cap_bps=1e9)
+        link.integrate(offered_bps=0.5e9, dt=1.0)
+        assert link.utilization(1.0) == pytest.approx(0.5, rel=1e-6)
+        assert link.utilization(0.0) == 0.0
+
+    def test_reset_counters(self):
+        link = make_link()
+        link.integrate(offered_bps=1e9, dt=0.1)
+        link.reset_counters()
+        assert link.carried_bytes == 0.0
+        assert link.dropped_bytes == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    offered=st.lists(st.floats(min_value=0, max_value=10e9, allow_nan=False), min_size=1, max_size=30),
+    dt=st.floats(min_value=1e-4, max_value=0.1, allow_nan=False),
+)
+def test_property_queue_invariants(offered, dt):
+    """Property: the queue never goes negative nor exceeds the buffer, and
+    carried bytes never exceed capacity * elapsed time."""
+    link = make_link(cap_bps=1e9, buffer_bytes=2_000_000)
+    elapsed = 0.0
+    for load in offered:
+        link.integrate(offered_bps=load, dt=dt)
+        elapsed += dt
+        assert 0.0 <= link.queue_bytes <= link.buffer_bytes
+        assert link.carried_bytes <= link.cap_bps * elapsed / 8 + 1e-6
+        assert 0.0 <= link.ecn_mark_probability() <= 1.0

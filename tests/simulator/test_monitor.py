@@ -1,0 +1,51 @@
+"""Tests for the queue monitor and link tracing."""
+
+import pytest
+
+from repro.routing import make_router_factory
+from repro.simulator import LinkTrace, QueueMonitor, RuntimeNetwork, SimulationConfig
+
+
+@pytest.fixture
+def network(tiny_topology, tiny_pathset):
+    return RuntimeNetwork(
+        tiny_topology, tiny_pathset, make_router_factory("ecmp"), SimulationConfig()
+    )
+
+
+class TestQueueMonitor:
+    def test_sample_counts(self, network):
+        monitor = QueueMonitor(network)
+        monitor.sample(now=0.001)
+        monitor.sample(now=0.002)
+        assert monitor.samples_taken == 2
+
+    def test_sample_with_trace(self, network):
+        trace = LinkTrace()
+        monitor = QueueMonitor(network, trace=trace)
+        network.link("A", "B").queue_bytes = 500.0
+        monitor.sample(now=0.001)
+        monitor.sample(now=0.002)
+        series = trace.series(("A", "B"))
+        assert len(series) == 2
+        assert series[0].queue_bytes == 500.0
+        assert monitor.trace is trace
+
+
+class TestLinkTrace:
+    def test_peak_queue(self, network):
+        trace = LinkTrace()
+        link = network.link("A", "C")
+        link.queue_bytes = 100
+        trace.observe(link, now=0.0)
+        link.queue_bytes = 900
+        trace.observe(link, now=0.1)
+        link.queue_bytes = 300
+        trace.observe(link, now=0.2)
+        assert trace.peak_queue(("A", "C")) == 900
+        assert trace.peak_queue(("C", "A")) == 0.0
+
+    def test_unknown_key_empty(self):
+        trace = LinkTrace()
+        assert trace.series(("X", "Y")) == []
+        assert trace.keys() == []

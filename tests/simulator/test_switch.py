@@ -1,0 +1,93 @@
+"""Tests for the DCI switch runtime model."""
+
+import pytest
+
+from repro.routing import ECMPRouter
+from repro.simulator import DCISwitch, FlowDemand, RuntimeLink
+from repro.topology.graph import GBPS, MS, LinkSpec
+from repro.topology.paths import CandidatePath
+
+
+def make_link(src, dst, cap=100 * GBPS, delay=5 * MS) -> RuntimeLink:
+    return RuntimeLink(LinkSpec(src, dst, cap, delay, 1_000_000, True))
+
+
+def make_candidate(dcs, links) -> CandidatePath:
+    return CandidatePath(
+        dcs=tuple(dcs),
+        links=tuple(l.spec for l in links),
+        delay_s=sum(l.delay_s for l in links),
+        bottleneck_bps=min(l.cap_bps for l in links),
+    )
+
+
+@pytest.fixture
+def switch_and_candidates():
+    link_b = make_link("A", "B")
+    link_c = make_link("A", "C", cap=40 * GBPS)
+    switch = DCISwitch("A", ECMPRouter())
+    switch.add_port("B", link_b)
+    switch.add_port("C", link_c)
+    cand_direct = make_candidate(["A", "B"], [link_b])
+    cand_via_c = make_candidate(["A", "C", "B"], [link_c, make_link("C", "B")])
+    return switch, [cand_direct, cand_via_c], link_b, link_c
+
+
+def demand(flow_id=1):
+    return FlowDemand(flow_id, "A", "B", 0, 0, 1_000, 0.0)
+
+
+class TestPorts:
+    def test_ports_registered(self, switch_and_candidates):
+        switch, _, link_b, link_c = switch_and_candidates
+        assert switch.port_to("B") is link_b
+        assert switch.port_to("C") is link_c
+        assert switch.port_to("Z") is None
+        assert switch.port_up("B")
+        assert not switch.port_up("Z")
+
+
+class TestRouting:
+    def test_route_flow_records_decision(self, switch_and_candidates):
+        switch, candidates, _, _ = switch_and_candidates
+        chosen = switch.route_flow("B", candidates, demand(1), now=0.0)
+        assert chosen in candidates
+        assert len(switch.decisions) == 1
+        assert switch.decisions[0].num_candidates == 2
+        assert not switch.decisions[0].fallback
+
+    def test_empty_candidates_rejected(self, switch_and_candidates):
+        switch, _, _, _ = switch_and_candidates
+        with pytest.raises(ValueError):
+            switch.route_flow("B", [], demand(), now=0.0)
+
+    def test_dead_port_excluded(self, switch_and_candidates):
+        switch, candidates, link_b, _ = switch_and_candidates
+        link_b.fail()
+        for flow_id in range(20):
+            chosen = switch.route_flow("B", candidates, demand(flow_id), now=0.0)
+            assert chosen.first_hop == "C"
+
+    def test_all_ports_dead_falls_back(self, switch_and_candidates):
+        switch, candidates, link_b, link_c = switch_and_candidates
+        link_b.fail()
+        link_c.fail()
+        chosen = switch.route_flow("B", candidates, demand(), now=0.0)
+        assert chosen in candidates
+        assert switch.decisions[-1].fallback
+
+
+class TestTelemetry:
+    def test_sample_ports_feeds_router(self, switch_and_candidates):
+        switch, _, link_b, _ = switch_and_candidates
+        link_b.queue_bytes = 12_345
+        samples = switch.sample_ports(now=1.0)
+        assert len(samples) == 2
+        by_dc = {s.next_dc: s for s in samples}
+        assert by_dc["B"].queue_bytes == 12_345
+        assert by_dc["B"].switch == "A"
+        assert by_dc["B"].time_s == 1.0
+
+    def test_tick_delegates_to_router(self, switch_and_candidates):
+        switch, _, _, _ = switch_and_candidates
+        switch.tick(now=2.0)  # ECMP's on_tick is a no-op; must not raise

@@ -1,0 +1,115 @@
+"""End-to-end integration tests: the paper's headline behaviours.
+
+These run moderately sized simulations (a few hundred to ~1000 flows on the
+time-scaled testbed) and assert the *shape* of the paper's results: LCMP
+beats the oblivious and capacity-only baselines, avoids high-delay paths for
+small flows, reacts to failures, and both cost terms matter.
+"""
+
+import pytest
+
+from repro.core import LCMPConfig
+from repro.experiments import ExperimentRunner, ExperimentSpec, TESTBED_ENDPOINT_PAIRS
+
+MODERATE = dict(
+    topology="testbed8",
+    workload="websearch",
+    load=0.3,
+    num_flows=900,
+    pairs=TESTBED_ENDPOINT_PAIRS,
+    capacity_scale=0.1,
+    seed=77,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison_runs():
+    runner = ExperimentRunner()
+    base = ExperimentSpec(name="integration", **MODERATE)
+    return runner.run_router_comparison(base, ["lcmp", "ecmp", "ucmp"])
+
+
+class TestHeadlineClaims:
+    def test_lcmp_beats_baselines_on_median(self, comparison_runs):
+        lcmp = comparison_runs["lcmp"].profile
+        assert lcmp.overall_p50 < comparison_runs["ecmp"].profile.overall_p50
+        assert lcmp.overall_p50 < comparison_runs["ucmp"].profile.overall_p50
+
+    def test_lcmp_beats_baselines_on_tail(self, comparison_runs):
+        lcmp = comparison_runs["lcmp"].profile
+        assert lcmp.overall_p99 < comparison_runs["ecmp"].profile.overall_p99
+        assert lcmp.overall_p99 < comparison_runs["ucmp"].profile.overall_p99
+
+    def test_small_flows_avoid_high_delay_paths(self, comparison_runs):
+        """LCMP's delay-aware path quality keeps small flows off the 250 ms
+        relays, so their P99 slowdown is far below ECMP's."""
+        def small_p99(run):
+            profile = run.profile
+            return profile.bins[0].p99
+
+        assert small_p99(comparison_runs["lcmp"]) < 0.5 * small_p99(comparison_runs["ecmp"])
+
+    def test_all_flows_complete_under_every_scheme(self, comparison_runs):
+        for run in comparison_runs.values():
+            assert run.result.unfinished_flows == 0
+            assert len(run.result.records) == MODERATE["num_flows"]
+
+    def test_ucmp_concentrates_on_high_capacity_links(self, comparison_runs):
+        """The motivation claim: UCMP leaves the low-capacity relays unused."""
+        utilisation = comparison_runs["ucmp"].result.utilization_by_link()
+        assert utilisation[("DC1", "DC6")] == pytest.approx(0.0, abs=1e-6)
+        assert utilisation[("DC1", "DC7")] == pytest.approx(0.0, abs=1e-6)
+        assert utilisation[("DC1", "DC2")] > 0.0
+
+    def test_lcmp_avoids_the_slowest_relay(self, comparison_runs):
+        """LCMP should place (almost) nothing on the 250 ms DC2 relay while
+        ECMP sends a sixth of the traffic there."""
+        lcmp_util = comparison_runs["lcmp"].result.utilization_by_link()
+        ecmp_util = comparison_runs["ecmp"].result.utilization_by_link()
+        assert lcmp_util[("DC1", "DC2")] < 0.5 * max(ecmp_util[("DC1", "DC2")], 1e-9)
+
+
+class TestAblation:
+    def test_removing_either_term_hurts(self):
+        runner = ExperimentRunner()
+        spec = ExperimentSpec(name="ablation", router="lcmp", **MODERATE)
+        full = runner.run(spec.with_overrides(name="full", lcmp_config=LCMPConfig()))
+        rm_alpha = runner.run(
+            spec.with_overrides(name="rm-alpha", lcmp_config=LCMPConfig().ablate_path_quality())
+        )
+        assert full.profile.overall_p50 < rm_alpha.profile.overall_p50
+        assert full.profile.overall_p99 <= rm_alpha.profile.overall_p99 * 1.1
+
+
+class TestFailover:
+    def test_flows_avoid_failed_link_and_still_complete(self):
+        """Fail the best low-delay relay's link mid-run: new flows must avoid
+        it and every flow still completes (no blackholing)."""
+        from repro.congestion_control import make_cc_factory
+        from repro.core import lcmp_router_factory
+        from repro.simulator import FluidSimulation, RuntimeNetwork, SimulationConfig
+        from repro.topology import build_testbed8, testbed8_pathset
+        from repro.workloads import TrafficConfig, TrafficGenerator
+
+        topo = build_testbed8(capacity_scale=0.1)
+        paths = testbed8_pathset(topo)
+        config = SimulationConfig(seed=5)
+        network = RuntimeNetwork(topo, paths, lcmp_router_factory(topo, paths), config)
+        traffic = TrafficConfig(
+            workload="websearch", load=0.3, num_flows=400,
+            pairs=[("DC1", "DC8"), ("DC8", "DC1")], seed=5,
+        )
+        demands = TrafficGenerator(topo, paths, traffic).generate()
+        sim = FluidSimulation(network, demands, make_cc_factory("dcqcn"), config)
+
+        fail_at = demands[len(demands) // 3].arrival_s
+        sim.engine.schedule(fail_at, lambda: network.fail_link("DC1", "DC7"))
+        result = sim.run()
+
+        assert result.unfinished_flows == 0
+        # decisions made after the failure never pick the dead port
+        post_failure = [
+            d for d in network.switch("DC1").decisions if d.time_s > fail_at
+        ]
+        assert post_failure, "some flows must arrive after the failure"
+        assert all(d.chosen.first_hop != "DC7" for d in post_failure)

@@ -1,0 +1,64 @@
+"""Tests for the 13-DC Europe-spanning topology (paper Fig. 4b)."""
+
+import itertools
+
+import pytest
+
+from repro.topology import BSO_EDGES, GBPS, build_bso13
+
+
+class TestStructure:
+    def test_thirteen_dcs(self, bso_topology):
+        assert len(bso_topology.dcs) == 13
+
+    def test_edge_attributes_in_paper_ranges(self):
+        for _, _, cap_gbps, delay_ms in BSO_EDGES:
+            assert cap_gbps in (40, 100, 200)
+            assert delay_ms in (1, 5, 10)
+
+    def test_links_bidirectional(self, bso_topology):
+        for a, b, _, _ in BSO_EDGES:
+            assert bso_topology.has_link(f"DC{a}", f"DC{b}")
+            assert bso_topology.has_link(f"DC{b}", f"DC{a}")
+
+    def test_deep_buffers_for_long_haul(self, bso_topology):
+        # the paper provisions multi-GB buffers for PFC headroom
+        buffers = {l.buffer_bytes for l in bso_topology.inter_dc_links()}
+        assert min(buffers) >= 1024 * 1024 * 1024
+
+    def test_sparser_than_full_mesh(self, bso_topology):
+        n = len(bso_topology.dcs)
+        directed_links = len(bso_topology.inter_dc_links())
+        assert directed_links < n * (n - 1) / 2
+
+    def test_capacity_scale(self):
+        topo = build_bso13(capacity_scale=0.5)
+        assert topo.link("DC1", "DC2").cap_bps == pytest.approx(100 * GBPS)
+
+
+class TestPathStructure:
+    def test_case_study_pair_is_multipath(self, bso_paths):
+        """DC1-DC13 (the §6.2.2 case study) must have several candidates with
+        distinct delay trade-offs and diverse first hops."""
+        cands = bso_paths.candidates("DC1", "DC13")
+        assert len(cands) >= 2
+        assert max(c.delay_s for c in cands) > min(c.delay_s for c in cands)
+        assert len({c.first_hop for c in cands}) >= 2
+
+    def test_majority_of_pairs_still_single_path_regime(self, bso_topology, bso_paths):
+        """The topology is sparse: a large share of pairs has one candidate,
+        diluting system-wide gains (the paper's explanation of Fig. 7)."""
+        pairs = list(itertools.combinations(bso_topology.dcs, 2))
+        multi = sum(1 for a, b in pairs if len(bso_paths.candidates(a, b)) >= 2)
+        fraction = multi / len(pairs)
+        assert 0.15 <= fraction <= 0.65
+
+    def test_every_pair_connected(self, bso_topology, bso_paths):
+        for a, b in bso_topology.dc_pairs(ordered=True):
+            assert bso_paths.candidates(a, b), (a, b)
+
+    def test_delay_heterogeneity_moderate(self, bso_paths):
+        """Delay gaps are ~10x (1 ms vs 10 ms links), not the testbed's 50x."""
+        cands = bso_paths.candidates("DC1", "DC13")
+        ratio = max(c.delay_s for c in cands) / min(c.delay_s for c in cands)
+        assert ratio < 20

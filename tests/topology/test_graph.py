@@ -1,0 +1,136 @@
+"""Unit tests for the topology data model."""
+
+import pytest
+
+from repro.topology import GBPS, MS, NodeKind, Topology, TopologyError
+
+
+def make_two_dc():
+    topo = Topology("two")
+    topo.add_dc("DC1")
+    topo.add_dc("DC2")
+    return topo
+
+
+class TestNodes:
+    def test_add_dc_creates_dci_node(self):
+        topo = make_two_dc()
+        assert topo.nodes["DC1"].kind == NodeKind.DCI
+        assert topo.nodes["DC1"].dc == "DC1"
+        assert topo.dcs == ["DC1", "DC2"]
+
+    def test_duplicate_node_rejected(self):
+        topo = make_two_dc()
+        with pytest.raises(TopologyError):
+            topo.add_dc("DC1")
+
+    def test_unknown_node_kind_rejected(self):
+        topo = Topology("x")
+        with pytest.raises(TopologyError):
+            topo.add_node("weird", "router")
+
+    def test_add_node_with_explicit_dc(self):
+        topo = make_two_dc()
+        node = topo.add_node("DC1/leaf0", NodeKind.LEAF, dc="DC1")
+        assert node.dc == "DC1"
+        assert node.kind == NodeKind.LEAF
+
+
+class TestLinks:
+    def test_add_inter_dc_link_is_bidirectional(self):
+        topo = make_two_dc()
+        fwd, rev = topo.add_inter_dc_link("DC1", "DC2", cap_bps=100 * GBPS, delay_s=5 * MS)
+        assert fwd.key == ("DC1", "DC2")
+        assert rev.key == ("DC2", "DC1")
+        assert topo.has_link("DC1", "DC2") and topo.has_link("DC2", "DC1")
+        assert fwd.inter_dc and rev.inter_dc
+
+    def test_link_lookup_and_missing(self):
+        topo = make_two_dc()
+        topo.add_inter_dc_link("DC1", "DC2", cap_bps=GBPS, delay_s=MS)
+        assert topo.link("DC1", "DC2").cap_bps == GBPS
+        with pytest.raises(TopologyError):
+            topo.link("DC2", "DC3")
+
+    def test_duplicate_link_rejected(self):
+        topo = make_two_dc()
+        topo.add_link("DC1", "DC2", GBPS, MS)
+        with pytest.raises(TopologyError):
+            topo.add_link("DC1", "DC2", GBPS, MS)
+
+    def test_invalid_capacity_and_delay(self):
+        topo = make_two_dc()
+        with pytest.raises(TopologyError):
+            topo.add_link("DC1", "DC2", 0, MS)
+        with pytest.raises(TopologyError):
+            topo.add_link("DC1", "DC2", GBPS, -1)
+
+    def test_link_to_unknown_node_rejected(self):
+        topo = make_two_dc()
+        with pytest.raises(TopologyError):
+            topo.add_link("DC1", "DC9", GBPS, MS)
+
+    def test_default_buffers_differ_by_scope(self):
+        topo = make_two_dc()
+        inter, _ = topo.add_inter_dc_link("DC1", "DC2", cap_bps=GBPS, delay_s=MS)
+        topo.add_node("DC1/leaf0", NodeKind.LEAF, dc="DC1")
+        intra = topo.add_link("DC1", "DC1/leaf0", GBPS, 1e-6)
+        assert inter.buffer_bytes == Topology.DEFAULT_INTER_BUFFER
+        assert intra.buffer_bytes == Topology.DEFAULT_INTRA_BUFFER
+        assert not intra.inter_dc
+
+    def test_neighbors(self):
+        topo = make_two_dc()
+        topo.add_dc("DC3")
+        topo.add_inter_dc_link("DC1", "DC2", GBPS, MS)
+        topo.add_inter_dc_link("DC1", "DC3", GBPS, MS)
+        assert sorted(topo.neighbors("DC1")) == ["DC2", "DC3"]
+        assert topo.neighbors("DC2") == ["DC1"]
+
+
+class TestHosts:
+    def test_add_hosts(self):
+        topo = make_two_dc()
+        group = topo.add_hosts("DC1", count=16, nic_bps=100 * GBPS)
+        assert group.count == 16
+        assert topo.hosts_in("DC1") == 16
+        assert topo.hosts_in("DC2") == 0
+
+    def test_invalid_hosts(self):
+        topo = make_two_dc()
+        with pytest.raises(TopologyError):
+            topo.add_hosts("DC1", count=0, nic_bps=GBPS)
+        with pytest.raises(TopologyError):
+            topo.add_hosts("DC1", count=4, nic_bps=0)
+        with pytest.raises(TopologyError):
+            topo.add_hosts("DC9", count=4, nic_bps=GBPS)
+
+
+class TestValidationAndQueries:
+    def test_validate_disconnected_topology(self):
+        topo = make_two_dc()
+        topo.add_dc("DC3")
+        topo.add_inter_dc_link("DC1", "DC2", GBPS, MS)
+        with pytest.raises(TopologyError, match="unreachable"):
+            topo.validate()
+
+    def test_validate_empty_topology(self):
+        with pytest.raises(TopologyError):
+            Topology("empty").validate()
+
+    def test_dc_pairs_ordered_and_unordered(self):
+        topo = make_two_dc()
+        topo.add_dc("DC3")
+        ordered = list(topo.dc_pairs(ordered=True))
+        unordered = list(topo.dc_pairs(ordered=False))
+        assert len(ordered) == 6
+        assert len(unordered) == 3
+        assert ("DC1", "DC2") in ordered and ("DC2", "DC1") in ordered
+
+    def test_inter_dc_links_filter(self):
+        topo = make_two_dc()
+        topo.add_inter_dc_link("DC1", "DC2", GBPS, MS)
+        topo.add_node("DC1/leaf0", NodeKind.LEAF, dc="DC1")
+        topo.add_link("DC1", "DC1/leaf0", GBPS, 1e-6)
+        assert len(topo.inter_dc_links()) == 2
+        assert all(l.inter_dc for l in topo.inter_dc_links())

@@ -1,0 +1,50 @@
+"""Tests for the intra-DC leaf-spine pod builder."""
+
+import pytest
+
+from repro.topology import GBPS, NodeKind, PodSpec, Topology, build_pod
+from repro.topology.graph import MS
+
+
+@pytest.fixture
+def dc_topology():
+    topo = Topology("pod-test")
+    topo.add_dc("DC1")
+    topo.add_dc("DC2")
+    topo.add_inter_dc_link("DC1", "DC2", 100 * GBPS, 5 * MS)
+    return topo
+
+
+def test_default_pod_dimensions(dc_topology):
+    hosts = build_pod(dc_topology, "DC1")
+    assert len(hosts) == 16
+    nodes = dc_topology.nodes
+    spines = [n for n in nodes.values() if n.kind == NodeKind.SPINE and n.dc == "DC1"]
+    leaves = [n for n in nodes.values() if n.kind == NodeKind.LEAF and n.dc == "DC1"]
+    assert len(spines) == 2
+    assert len(leaves) == 4
+
+
+def test_pod_wiring_is_bidirectional(dc_topology):
+    build_pod(dc_topology, "DC1")
+    assert dc_topology.has_link("DC1", "DC1/spine0")
+    assert dc_topology.has_link("DC1/spine0", "DC1")
+    assert dc_topology.has_link("DC1/leaf0", "DC1/spine1")
+    assert dc_topology.has_link("DC1/leaf0", "DC1/host0")
+    # host links are intra-DC
+    assert not dc_topology.link("DC1/leaf0", "DC1/host0").inter_dc
+
+
+def test_pod_link_rates(dc_topology):
+    spec = PodSpec()
+    build_pod(dc_topology, "DC1", spec)
+    assert dc_topology.link("DC1", "DC1/spine0").cap_bps == spec.spine_dci_bps
+    assert dc_topology.link("DC1/leaf0", "DC1/host0").cap_bps == spec.host_link_bps
+
+
+def test_custom_pod_spec(dc_topology):
+    spec = PodSpec(spines=1, leaves=2, hosts_per_leaf=3)
+    hosts = build_pod(dc_topology, "DC2", spec)
+    assert len(hosts) == 6
+    assert "DC2/spine0" in dc_topology.nodes
+    assert "DC2/leaf1" in dc_topology.nodes

@@ -1,0 +1,122 @@
+"""Unit and property tests for candidate-path enumeration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import (
+    GBPS,
+    MS,
+    PathSet,
+    Topology,
+    TopologyError,
+    enumerate_paths,
+    shortest_delay_path,
+)
+
+
+def ring_topology(n: int, cap_bps=100 * GBPS, delay_s=5 * MS) -> Topology:
+    """A ring of n datacenters (every pair has exactly two simple routes)."""
+    topo = Topology(f"ring{n}")
+    for i in range(n):
+        topo.add_dc(f"R{i}")
+    for i in range(n):
+        topo.add_inter_dc_link(f"R{i}", f"R{(i + 1) % n}", cap_bps, delay_s)
+    topo.validate()
+    return topo
+
+
+class TestEnumeration:
+    def test_tiny_triangle_candidates(self, tiny_topology):
+        cands = enumerate_paths(tiny_topology, "A", "B", max_extra_hops=1)
+        routes = {c.dcs for c in cands}
+        assert ("A", "B") in routes
+        assert ("A", "C", "B") in routes
+        direct = next(c for c in cands if c.dcs == ("A", "B"))
+        detour = next(c for c in cands if c.dcs == ("A", "C", "B"))
+        assert direct.bottleneck_bps == 100 * GBPS
+        assert detour.bottleneck_bps == 40 * GBPS
+        assert detour.delay_s == pytest.approx(2 * MS)
+        assert direct.first_hop == "B" and detour.first_hop == "C"
+
+    def test_same_src_dst_rejected(self, tiny_topology):
+        with pytest.raises(TopologyError):
+            enumerate_paths(tiny_topology, "A", "A")
+
+    def test_unreachable_returns_empty(self):
+        topo = Topology("island")
+        topo.add_dc("X")
+        topo.add_dc("Y")
+        assert enumerate_paths(topo, "X", "Y") == []
+
+    def test_max_candidates_truncation(self):
+        topo = ring_topology(6)
+        cands = enumerate_paths(topo, "R0", "R3", max_candidates=1, max_extra_hops=2)
+        assert len(cands) == 1
+
+    def test_detour_bound_respected(self):
+        topo = ring_topology(6)
+        # min hops R0->R1 is 1; the other way around the ring is 5 hops and
+        # must be excluded with a 1-extra-hop bound
+        cands = enumerate_paths(topo, "R0", "R1", max_extra_hops=1)
+        assert all(c.hop_count <= 2 for c in cands)
+
+    def test_paths_are_loop_free_and_consistent(self):
+        topo = ring_topology(5)
+        for dst in ("R1", "R2", "R3", "R4"):
+            for cand in enumerate_paths(topo, "R0", dst, max_extra_hops=3):
+                assert len(set(cand.dcs)) == len(cand.dcs)
+                assert cand.delay_s == pytest.approx(sum(l.delay_s for l in cand.links))
+                assert cand.bottleneck_bps == min(l.cap_bps for l in cand.links)
+                assert cand.dcs[0] == "R0" and cand.dcs[-1] == dst
+
+
+class TestShortestDelay:
+    def test_prefers_lower_total_delay(self, tiny_topology):
+        best = shortest_delay_path(tiny_topology, "A", "B")
+        # the two-hop route via C has 2 ms total vs 5 ms direct
+        assert best.dcs == ("A", "C", "B")
+        assert best.delay_s == pytest.approx(2 * MS)
+
+    def test_unreachable_returns_none(self):
+        topo = Topology("island")
+        topo.add_dc("X")
+        topo.add_dc("Y")
+        assert shortest_delay_path(topo, "X", "Y") is None
+
+
+class TestPathSet:
+    def test_all_pairs_covered(self, tiny_topology, tiny_pathset):
+        assert len(tiny_pathset) == 6  # 3 DCs -> 6 ordered pairs
+        for src, dst in tiny_topology.dc_pairs(ordered=True):
+            assert tiny_pathset.candidates(src, dst), (src, dst)
+
+    def test_multipath_fraction(self, tiny_pathset):
+        assert 0.0 <= tiny_pathset.multipath_fraction() <= 1.0
+
+    def test_ideal_delay_and_bottleneck(self, tiny_pathset):
+        assert tiny_pathset.ideal_delay("A", "B") == pytest.approx(2 * MS)
+        assert tiny_pathset.best_bottleneck("A", "B") == 100 * GBPS
+
+    def test_missing_pair_raises(self, tiny_pathset):
+        with pytest.raises(TopologyError):
+            tiny_pathset.ideal_delay("A", "Z")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=8),
+    extra=st.integers(min_value=0, max_value=3),
+)
+def test_ring_enumeration_properties(n, extra):
+    """Property: every enumerated path is simple, connects src to dst, and
+    respects the detour bound relative to the hop-minimal path."""
+    topo = ring_topology(n)
+    cands = enumerate_paths(topo, "R0", f"R{n // 2}", max_extra_hops=extra)
+    assert cands, "a ring is always connected"
+    min_hops = min(c.hop_count for c in cands)
+    for cand in cands:
+        assert cand.dcs[0] == "R0"
+        assert cand.dcs[-1] == f"R{n // 2}"
+        assert len(set(cand.dcs)) == len(cand.dcs)
+        assert cand.hop_count <= min_hops + extra

@@ -1,0 +1,105 @@
+"""Tests for the flow-size CDF representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import FlowSizeCDF
+
+SIMPLE = FlowSizeCDF.from_pairs("simple", [(100, 0.5), (1000, 1.0)])
+
+
+class TestValidation:
+    def test_valid_cdf(self):
+        assert SIMPLE.min_bytes() == 100
+        assert SIMPLE.max_bytes() == 1000
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FlowSizeCDF.from_pairs("x", [])
+
+    def test_must_end_at_one(self):
+        with pytest.raises(ValueError):
+            FlowSizeCDF.from_pairs("x", [(100, 0.5), (200, 0.9)])
+
+    def test_non_monotonic_rejected(self):
+        with pytest.raises(ValueError):
+            FlowSizeCDF.from_pairs("x", [(100, 0.5), (50, 1.0)])
+        with pytest.raises(ValueError):
+            FlowSizeCDF.from_pairs("x", [(100, 0.7), (200, 0.5), (300, 1.0)])
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FlowSizeCDF.from_pairs("x", [(100, 1.2)])
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(ValueError):
+            FlowSizeCDF.from_pairs("x", [(0, 1.0)])
+
+
+class TestStatistics:
+    def test_mean_between_min_and_max(self):
+        mean = SIMPLE.mean_bytes()
+        assert 100 <= mean <= 1000
+
+    def test_mean_of_point_mass(self):
+        point = FlowSizeCDF.from_pairs("point", [(500, 1.0)])
+        assert point.mean_bytes() == 500
+
+    def test_quantile_interpolation(self):
+        assert SIMPLE.quantile(0.0) == 100
+        assert SIMPLE.quantile(0.5) == 100
+        assert SIMPLE.quantile(0.75) == pytest.approx(550)
+        assert SIMPLE.quantile(1.0) == 1000
+
+    def test_quantile_out_of_range(self):
+        with pytest.raises(ValueError):
+            SIMPLE.quantile(1.5)
+
+
+class TestSampling:
+    def test_samples_within_support(self, rng):
+        samples = SIMPLE.sample(rng, 500)
+        assert samples.min() >= 1
+        assert samples.max() <= 1000
+        assert samples.dtype == np.int64
+
+    def test_sample_count(self, rng):
+        assert len(SIMPLE.sample(rng, 7)) == 7
+        assert len(SIMPLE.sample(rng, 0)) == 0
+        with pytest.raises(ValueError):
+            SIMPLE.sample(rng, -1)
+
+    def test_sample_mean_near_analytic_mean(self, rng):
+        samples = SIMPLE.sample(rng, 20_000)
+        assert samples.mean() == pytest.approx(SIMPLE.mean_bytes(), rel=0.05)
+
+    def test_deterministic_with_seed(self):
+        a = SIMPLE.sample(np.random.default_rng(5), 100)
+        b = SIMPLE.sample(np.random.default_rng(5), 100)
+        assert (a == b).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(
+            st.floats(min_value=1, max_value=1e8, allow_nan=False),
+            st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_property_sorted_pairs_make_valid_cdf(pairs):
+    """Property: any sorted point set ending at probability 1 forms a valid
+    CDF whose quantiles stay inside the support."""
+    sizes = sorted(p[0] for p in pairs)
+    probs = sorted(p[1] for p in pairs)
+    probs[-1] = 1.0
+    cdf = FlowSizeCDF.from_pairs("prop", list(zip(sizes, probs)))
+    tolerance = 1e-9 * cdf.max_bytes()
+    assert cdf.min_bytes() - tolerance <= cdf.mean_bytes() <= cdf.max_bytes() + tolerance
+    for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+        assert cdf.min_bytes() <= cdf.quantile(q) <= cdf.max_bytes()

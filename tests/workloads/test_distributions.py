@@ -1,0 +1,48 @@
+"""Tests for the embedded workload distributions."""
+
+import pytest
+
+from repro.workloads import (
+    ALI_STORAGE,
+    FB_HADOOP,
+    WEB_SEARCH,
+    available_workloads,
+    get_workload,
+)
+
+
+class TestCatalogue:
+    def test_three_workloads_available(self):
+        assert set(available_workloads()) == {"websearch", "alistorage", "fbhadoop"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_workload("WebSearch") is WEB_SEARCH
+        assert get_workload("ALISTORAGE") is ALI_STORAGE
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("uniform")
+
+
+class TestDistributionShapes:
+    def test_all_valid_and_heavy_tailed(self):
+        for cdf in (WEB_SEARCH, ALI_STORAGE, FB_HADOOP):
+            # heavy tail: the mean is far above the median
+            assert cdf.mean_bytes() > cdf.quantile(0.5)
+            assert cdf.max_bytes() >= 1_000_000
+
+    def test_websearch_mean_in_expected_range(self):
+        # the DCTCP web-search workload has a mean around 1-2 MB
+        assert 0.5e6 < WEB_SEARCH.mean_bytes() < 3e6
+
+    def test_alistorage_is_small_request_dominated(self):
+        assert ALI_STORAGE.quantile(0.5) < 10_000
+        assert ALI_STORAGE.max_bytes() <= 4_000_000
+
+    def test_fbhadoop_has_largest_tail(self):
+        assert FB_HADOOP.max_bytes() >= WEB_SEARCH.max_bytes()
+        assert FB_HADOOP.quantile(0.5) < 5_000
+
+    def test_workload_means_are_distinct(self):
+        means = {int(c.mean_bytes()) for c in (WEB_SEARCH, ALI_STORAGE, FB_HADOOP)}
+        assert len(means) == 3

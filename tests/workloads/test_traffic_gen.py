@@ -1,0 +1,111 @@
+"""Tests for the synthetic traffic generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    TrafficConfig,
+    TrafficGenerator,
+    aggregate_egress_capacity,
+    get_workload,
+)
+
+
+class TestAggregateCapacity:
+    def test_counts_only_source_egress(self, tiny_topology):
+        cap_a = aggregate_egress_capacity(tiny_topology, ["A"])
+        assert cap_a == pytest.approx((100 + 40) * 1e9)
+        cap_ab = aggregate_egress_capacity(tiny_topology, ["A", "B"])
+        assert cap_ab > cap_a
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(load=0).validate()
+        with pytest.raises(ValueError):
+            TrafficConfig(num_flows=0).validate()
+        TrafficConfig(load=0.8, num_flows=10).validate()
+
+    def test_resolve_cdf_by_name_or_instance(self):
+        assert TrafficConfig(workload="websearch").resolve_cdf().name == "websearch"
+        cdf = get_workload("alistorage")
+        assert TrafficConfig(workload=cdf).resolve_cdf() is cdf
+
+
+class TestGeneration:
+    def test_flow_count_and_ids(self, tiny_topology, tiny_pathset):
+        config = TrafficConfig(num_flows=200, seed=3)
+        demands = TrafficGenerator(tiny_topology, tiny_pathset, config).generate()
+        assert len(demands) == 200
+        assert sorted(d.flow_id for d in demands) == list(range(200))
+
+    def test_arrivals_increasing(self, tiny_topology, tiny_pathset):
+        config = TrafficConfig(num_flows=100, seed=4)
+        demands = TrafficGenerator(tiny_topology, tiny_pathset, config).generate()
+        arrivals = [d.arrival_s for d in demands]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] >= 0
+
+    def test_all_to_all_uses_many_pairs(self, tiny_topology, tiny_pathset):
+        config = TrafficConfig(num_flows=300, pairs="all_to_all", seed=5)
+        demands = TrafficGenerator(tiny_topology, tiny_pathset, config).generate()
+        pairs = {(d.src_dc, d.dst_dc) for d in demands}
+        assert len(pairs) >= 4
+        assert all(src != dst for src, dst in pairs)
+
+    def test_explicit_pair_mode(self, tiny_topology, tiny_pathset):
+        config = TrafficConfig(num_flows=100, pairs=[("A", "B"), ("B", "A")], seed=6)
+        demands = TrafficGenerator(tiny_topology, tiny_pathset, config).generate()
+        assert {(d.src_dc, d.dst_dc) for d in demands} <= {("A", "B"), ("B", "A")}
+
+    def test_invalid_pair_rejected(self, tiny_topology, tiny_pathset):
+        with pytest.raises(ValueError):
+            TrafficGenerator(
+                tiny_topology, tiny_pathset, TrafficConfig(pairs=[("A", "A")])
+            )
+
+    def test_host_indices_within_group(self, tiny_topology, tiny_pathset):
+        config = TrafficConfig(num_flows=200, seed=7)
+        demands = TrafficGenerator(tiny_topology, tiny_pathset, config).generate()
+        for d in demands:
+            assert 0 <= d.src_host < 4
+            assert 0 <= d.dst_host < 4
+
+    def test_deterministic_with_seed(self, tiny_topology, tiny_pathset):
+        config = TrafficConfig(num_flows=50, seed=42)
+        a = TrafficGenerator(tiny_topology, tiny_pathset, config).generate()
+        b = TrafficGenerator(tiny_topology, tiny_pathset, config).generate()
+        assert [(d.arrival_s, d.size_bytes, d.src_dc) for d in a] == [
+            (d.arrival_s, d.size_bytes, d.src_dc) for d in b
+        ]
+
+
+class TestLoadScaling:
+    def test_higher_load_means_denser_arrivals(self, tiny_topology, tiny_pathset):
+        low = TrafficGenerator(
+            tiny_topology, tiny_pathset, TrafficConfig(load=0.3, num_flows=400, seed=1)
+        ).generate()
+        high = TrafficGenerator(
+            tiny_topology, tiny_pathset, TrafficConfig(load=0.8, num_flows=400, seed=1)
+        ).generate()
+        assert high[-1].arrival_s < low[-1].arrival_s
+
+    def test_offered_load_close_to_target(self, tiny_topology, tiny_pathset):
+        """Total offered bits / (capacity x span) should approximate the load."""
+        config = TrafficConfig(load=0.5, num_flows=3000, seed=2, pairs=[("A", "B")])
+        generator = TrafficGenerator(tiny_topology, tiny_pathset, config)
+        demands = generator.generate()
+        span = demands[-1].arrival_s - demands[0].arrival_s
+        offered_bits = sum(d.size_bytes for d in demands) * 8
+        capacity = aggregate_egress_capacity(tiny_topology, ["A"])
+        measured_load = offered_bits / (capacity * span)
+        assert measured_load == pytest.approx(0.5, rel=0.25)
+
+    def test_expected_duration_estimate(self, tiny_topology, tiny_pathset):
+        config = TrafficConfig(load=0.5, num_flows=1000, seed=2)
+        generator = TrafficGenerator(tiny_topology, tiny_pathset, config)
+        demands = generator.generate()
+        estimate = generator.expected_duration_s()
+        actual = demands[-1].arrival_s
+        assert actual == pytest.approx(estimate, rel=0.3)
