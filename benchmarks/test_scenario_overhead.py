@@ -1,0 +1,79 @@
+"""Benchmark — scenario-engine overhead on the no-event path.
+
+Attaching a scenario must cost essentially nothing when no event fires: the
+injector schedules events up front, the per-step fast-failover sweep existed
+before the scenario engine, and an empty timeline schedules nothing at all.
+Two properties are asserted exactly (identical engine event counts and
+bit-identical FCTs with and without an empty scenario) and the wall-clock
+cost of both paths is measured for the record.
+"""
+
+import pytest
+
+from repro.congestion_control import make_cc_factory
+from repro.routing import make_router_factory
+from repro.scenarios import Scenario
+from repro.simulator import FluidSimulation, RuntimeNetwork, SimulationConfig
+from repro.topology import build_testbed8
+from repro.topology import testbed8_pathset as _testbed8_pathset
+from repro.workloads import TrafficConfig, TrafficGenerator
+
+NUM_FLOWS = 300
+
+
+def build_inputs():
+    topology = build_testbed8(capacity_scale=0.1)
+    paths = _testbed8_pathset(topology)
+    config = SimulationConfig(seed=5)
+    traffic = TrafficConfig(
+        workload="websearch", load=0.3, num_flows=NUM_FLOWS,
+        pairs=[("DC1", "DC8")], seed=5,
+    )
+    demands = TrafficGenerator(topology, paths, traffic).generate()
+    return topology, paths, config, demands
+
+
+def run_once(topology, paths, config, demands, scenario=None):
+    network = RuntimeNetwork(topology, paths, make_router_factory("ecmp"), config)
+    sim = FluidSimulation(
+        network, demands, make_cc_factory("dcqcn"), config, scenario=scenario
+    )
+    return sim, sim.run()
+
+
+def test_empty_scenario_adds_zero_events():
+    """The no-event path must not add a single engine event nor perturb FCTs."""
+    topology, paths, config, demands = build_inputs()
+    plain_sim, plain = run_once(topology, paths, config, demands)
+    scen_sim, scen = run_once(
+        topology, paths, config, demands, scenario=Scenario(name="noop")
+    )
+    assert plain_sim.engine.processed_events == scen_sim.engine.processed_events
+    assert len(plain.records) == len(scen.records) == NUM_FLOWS
+    assert [r.fct_s for r in plain.records] == [r.fct_s for r in scen.records]
+    assert scen.scenario_metrics is not None and scen.scenario_metrics.outcomes == []
+
+
+@pytest.mark.benchmark(group="scenario-overhead")
+def test_bench_run_without_scenario(benchmark):
+    topology, paths, config, demands = build_inputs()
+    result = benchmark.pedantic(
+        lambda: run_once(topology, paths, config, demands)[1],
+        rounds=3,
+        iterations=1,
+    )
+    assert result.unfinished_flows == 0
+
+
+@pytest.mark.benchmark(group="scenario-overhead")
+def test_bench_run_with_empty_scenario(benchmark):
+    topology, paths, config, demands = build_inputs()
+    result = benchmark.pedantic(
+        lambda: run_once(
+            topology, paths, config, demands, scenario=Scenario(name="noop")
+        )[1],
+        rounds=3,
+        iterations=1,
+    )
+    assert result.unfinished_flows == 0
+    assert result.scenario_metrics is not None

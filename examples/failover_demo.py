@@ -7,11 +7,17 @@ invalidated lazily when the next packet arrives, and the flow is re-hashed
 onto a healthy candidate — no control-plane batch update, microsecond-scale
 recovery.
 
-This demo sends a steady stream of flows from DC1 to DC8, kills the most
-attractive low-delay link (DC1 -> DC7) one third of the way through, brings
-it back two thirds of the way through, and reports:
+This demo drives the failure through the scenario engine
+(:mod:`repro.scenarios`) instead of hand-scheduling state flips: the canned
+``single-link-cut`` scenario kills the most attractive low-delay link
+(DC1 <-> DC7) one third of the way through a steady DC1 -> DC8 stream and
+repairs it two thirds of the way through.  The injector re-evaluates
+in-flight flows the instant the port dies, which is what exercises the lazy
+flow-cache invalidation for real, and reports per-event recovery metrics:
 
-* where new flows were placed before, during and after the failure, and
+* where new flows were placed before, during and after the failure,
+* how many in-flight flows were disrupted / re-routed / restored,
+* the post-event FCT-slowdown delta around the cut and the repair, and
 * that every flow completed (no blackholing) despite the failure.
 
 Run with::
@@ -24,8 +30,10 @@ from __future__ import annotations
 import sys
 from collections import Counter
 
+from repro.analysis import event_impacts, recovery_report
 from repro.congestion_control import make_cc_factory
 from repro.core import lcmp_router_factory
+from repro.scenarios import single_link_cut
 from repro.simulator import FluidSimulation, RuntimeNetwork, SimulationConfig
 from repro.topology import build_testbed8, testbed8_pathset
 from repro.workloads import TrafficConfig, TrafficGenerator
@@ -42,15 +50,18 @@ def main(num_flows: int = 600) -> None:
         pairs=[("DC1", "DC8")], seed=11,
     )
     demands = TrafficGenerator(topology, paths, traffic).generate()
-    sim = FluidSimulation(network, demands, make_cc_factory("dcqcn"), config)
 
     fail_at = demands[num_flows // 3].arrival_s
     recover_at = demands[2 * num_flows // 3].arrival_s
-    sim.engine.schedule(fail_at, lambda: network.fail_link("DC1", "DC7"))
-    sim.engine.schedule(recover_at, lambda: network.recover_link("DC1", "DC7"))
+    scenario = single_link_cut(
+        fail_at_s=fail_at, recover_at_s=recover_at, src="DC1", dst="DC7"
+    )
+    sim = FluidSimulation(
+        network, demands, make_cc_factory("dcqcn"), config, scenario=scenario
+    )
 
     print(
-        f"Sending {num_flows} flows DC1 -> DC8; DC1->DC7 fails at t={fail_at * 1e3:.1f} ms "
+        f"Sending {num_flows} flows DC1 -> DC8; DC1<->DC7 fails at t={fail_at * 1e3:.1f} ms "
         f"and recovers at t={recover_at * 1e3:.1f} ms ..."
     )
     result = sim.run()
@@ -74,18 +85,33 @@ def main(num_flows: int = 600) -> None:
         )
         print(f"  {phase:<24s} {spread}")
 
-    lcmp_router = network.switch("DC1").router
+    metrics = result.scenario_metrics
     print(
         f"\nFlows completed: {len(result.records)}/{num_flows} "
-        f"(unfinished: {result.unfinished_flows})"
+        f"(unfinished: {result.unfinished_flows}, failed: {len(result.failed_flows)})"
     )
+    print(
+        f"In-flight flows disrupted: {metrics.total_disrupted}, "
+        f"re-routed: {metrics.total_rerouted}, restored: {metrics.total_restored}"
+    )
+    lcmp_router = network.switch("DC1").router
     print(
         f"Lazy flow-cache invalidations on DC1: {lcmp_router.liveness.lazy_invalidations}, "
         f"failover re-hashes: {lcmp_router.failover_rehashes}"
     )
+
+    window = max(0.05, (recover_at - fail_at) / 2)
+    print("\nPer-event recovery metrics:")
+    print(recovery_report(event_impacts(result, window_s=window)))
+
     during = phases["while DC1->DC7 is down"]
     assert "DC7" not in during, "no new flow may be placed on the dead port"
-    print("No flow was placed on the failed port while it was down — fast-failover works.")
+    # tiny runs may have nothing in flight at the cut; when flows *were*
+    # disrupted, every one must have gone through a lazy invalidation
+    if metrics.total_disrupted:
+        assert lcmp_router.liveness.lazy_invalidations > 0, "the cut must invalidate cached entries"
+    assert len(result.records) + len(result.failed_flows) == num_flows
+    print("\nNo flow was placed on the failed port while it was down — fast-failover works.")
 
 
 if __name__ == "__main__":

@@ -19,9 +19,10 @@ Quickstart::
     print(run.profile.overall_p50, run.profile.overall_p99)
 """
 
-from . import analysis, congestion_control, core, experiments, routing, simulator, topology, workloads
+from . import analysis, congestion_control, core, experiments, routing, scenarios, simulator, topology, workloads
 from .core import LCMPConfig, LCMPRouter
 from .experiments import ExperimentRunner, ExperimentSpec
+from .scenarios import Scenario
 
 __version__ = "1.0.0"
 
@@ -31,6 +32,7 @@ __all__ = [
     "core",
     "experiments",
     "routing",
+    "scenarios",
     "simulator",
     "topology",
     "workloads",
@@ -38,5 +40,6 @@ __all__ = [
     "LCMPRouter",
     "ExperimentRunner",
     "ExperimentSpec",
+    "Scenario",
     "__version__",
 ]

@@ -9,6 +9,12 @@ from .fct_analysis import (
 )
 from .fidelity import FidelityResult, fidelity_study, pearson
 from .report import format_table, reduction_report, slowdown_table, utilization_report
+from .scenario_analysis import (
+    EventImpact,
+    event_impacts,
+    recovery_report,
+    slowdown_timeline,
+)
 from .utilization import LinkUtilization, imbalance, jain_fairness, utilization_table
 
 __all__ = [
@@ -20,6 +26,10 @@ __all__ = [
     "FidelityResult",
     "fidelity_study",
     "pearson",
+    "EventImpact",
+    "event_impacts",
+    "recovery_report",
+    "slowdown_timeline",
     "format_table",
     "reduction_report",
     "slowdown_table",

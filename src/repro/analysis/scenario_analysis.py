@@ -1,0 +1,173 @@
+"""Analysis of scenario runs: per-event recovery impact on FCT slowdown.
+
+A scenario run produces two things worth lining up: the injector's per-event
+recovery metrics (flows disrupted / re-routed / failed, re-route latency)
+and the flow records themselves.  :func:`event_impacts` joins them: for each
+applied event it compares the median FCT slowdown of flows *arriving* in a
+window before the event against the window after it, yielding the
+"post-event FCT slowdown delta" — positive for disruptive events (a link
+cut makes flows slower), negative for recoveries.
+
+:func:`slowdown_timeline` buckets slowdown over arrival time for plotting
+or eyeballing recovery curves, and :func:`recovery_report` renders the
+impact rows as an aligned text table in the style of the figure benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..simulator.fluid import SimulationResult
+from .report import format_table
+
+__all__ = ["EventImpact", "event_impacts", "slowdown_timeline", "recovery_report"]
+
+
+@dataclass(frozen=True)
+class EventImpact:
+    """One scenario event joined with its FCT-slowdown footprint.
+
+    Attributes:
+        index / kind / description: identity of the timeline event.
+        applied_s: when the event fired.
+        flows_disrupted / flows_rerouted / flows_restored / flows_failed:
+            recovery counts from the injector.
+        flows_injected / flows_cancelled: traffic-event counts.
+        mean_reroute_latency_s / max_reroute_latency_s: disruption-to-
+            healthy-path latency.
+        pre_p50 / post_p50: median slowdown of flows arriving in the window
+            before / after the event (``None`` when the window is empty).
+        slowdown_delta: ``post_p50 - pre_p50`` (``None`` when either window
+            is empty).
+    """
+
+    index: int
+    kind: str
+    description: str
+    applied_s: float
+    flows_disrupted: int
+    flows_rerouted: int
+    flows_restored: int
+    flows_failed: int
+    flows_injected: int
+    flows_cancelled: int
+    mean_reroute_latency_s: float
+    max_reroute_latency_s: float
+    pre_p50: Optional[float]
+    post_p50: Optional[float]
+    slowdown_delta: Optional[float]
+
+
+def _window_p50(result: SimulationResult, lo: float, hi: float) -> Optional[float]:
+    slowdowns = [r.slowdown for r in result.records if lo <= r.arrival_s < hi]
+    if not slowdowns:
+        return None
+    return float(np.percentile(slowdowns, 50))
+
+
+def event_impacts(result: SimulationResult, window_s: float = 0.5) -> List[EventImpact]:
+    """Per-event recovery metrics joined with slowdown deltas.
+
+    Args:
+        result: a simulation result carrying ``scenario_metrics``.
+        window_s: width of the arrival-time windows compared around each
+            event.
+
+    Raises:
+        ValueError: when the result has no scenario metrics or the window
+            is not positive.
+    """
+    if result.scenario_metrics is None:
+        raise ValueError("result carries no scenario metrics (run had no scenario)")
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+
+    impacts: List[EventImpact] = []
+    for outcome in result.scenario_metrics.outcomes:
+        if outcome.applied_s is None:
+            continue  # the run ended before this event fired
+        at = outcome.applied_s
+        pre = _window_p50(result, at - window_s, at)
+        post = _window_p50(result, at, at + window_s)
+        delta = (post - pre) if pre is not None and post is not None else None
+        impacts.append(
+            EventImpact(
+                index=outcome.index,
+                kind=outcome.kind,
+                description=outcome.description,
+                applied_s=at,
+                flows_disrupted=outcome.flows_disrupted,
+                flows_rerouted=outcome.flows_rerouted,
+                flows_restored=outcome.flows_restored,
+                flows_failed=outcome.flows_failed,
+                flows_injected=outcome.flows_injected,
+                flows_cancelled=outcome.flows_cancelled,
+                mean_reroute_latency_s=outcome.mean_reroute_latency_s,
+                max_reroute_latency_s=outcome.max_reroute_latency_s,
+                pre_p50=pre,
+                post_p50=post,
+                slowdown_delta=delta,
+            )
+        )
+    return impacts
+
+
+def slowdown_timeline(
+    result: SimulationResult, bucket_s: float = 0.25
+) -> List[Tuple[float, float]]:
+    """Median slowdown per arrival-time bucket (a recovery curve).
+
+    Returns:
+        ``(bucket_start_s, p50_slowdown)`` pairs for every non-empty bucket,
+        in time order.
+    """
+    if bucket_s <= 0:
+        raise ValueError("bucket_s must be positive")
+    if not result.records:
+        return []
+    buckets = {}
+    for record in result.records:
+        start = int(record.arrival_s / bucket_s) * bucket_s
+        buckets.setdefault(start, []).append(record.slowdown)
+    return [
+        (start, float(np.percentile(values, 50)))
+        for start, values in sorted(buckets.items())
+    ]
+
+
+def recovery_report(impacts: Sequence[EventImpact]) -> str:
+    """Aligned text table of per-event recovery metrics."""
+    if not impacts:
+        return "(no events fired)"
+
+    def fmt(value: Optional[float], pattern: str = "{:+.2f}") -> str:
+        return pattern.format(value) if value is not None else "-"
+
+    headers = [
+        "event",
+        "t (s)",
+        "disrupted",
+        "rerouted",
+        "restored",
+        "failed",
+        "reroute ms",
+        "p50 delta",
+    ]
+    rows = []
+    for impact in impacts:
+        rows.append(
+            [
+                impact.kind,
+                f"{impact.applied_s:.3f}",
+                impact.flows_disrupted,
+                impact.flows_rerouted,
+                impact.flows_restored,
+                impact.flows_failed,
+                f"{impact.mean_reroute_latency_s * 1e3:.2f}",
+                fmt(impact.slowdown_delta),
+            ]
+        )
+    return format_table(headers, rows)

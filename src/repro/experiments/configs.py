@@ -61,6 +61,10 @@ class ExperimentSpec:
         num_flows: number of flows to generate.
         pairs: ``"all_to_all"`` or an explicit tuple of ordered DC pairs.
         lcmp_config: LCMP weight configuration (ignored by baselines).
+        scenario: optional dynamic scenario the run executes under — a
+            :class:`~repro.scenarios.events.Scenario` instance or the name
+            of a canned one (see :func:`repro.scenarios.scenario_names`);
+            ``None`` runs the static workload exactly as before.
         capacity_scale: time-scaling factor for the fluid simulator.
         seed: RNG seed shared by traffic generation and the simulator.
         update_interval_s / monitor_interval_s: simulator cadences.
@@ -77,6 +81,7 @@ class ExperimentSpec:
     num_flows: int = 2000
     pairs: object = TESTBED_ENDPOINT_PAIRS
     lcmp_config: Optional[LCMPConfig] = None
+    scenario: object = None
     capacity_scale: float = DEFAULT_CAPACITY_SCALE
     seed: int = 1
     update_interval_s: float = 1e-3
@@ -87,6 +92,24 @@ class ExperimentSpec:
     def with_overrides(self, **kwargs) -> "ExperimentSpec":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
+
+    def resolve_scenario(self):
+        """The :class:`~repro.scenarios.events.Scenario` to run under.
+
+        A string is looked up in the canned-scenario registry; a scenario
+        instance passes through; ``None`` means a static run.
+
+        Raises:
+            ValueError: for a name the registry does not know.
+        """
+        if self.scenario is None or not isinstance(self.scenario, str):
+            return self.scenario
+        from ..scenarios.library import get_scenario
+
+        try:
+            return get_scenario(self.scenario)
+        except KeyError as exc:
+            raise ValueError(exc.args[0]) from None
 
     def validate(self) -> None:
         """Check the spec names known components.
@@ -102,3 +125,5 @@ class ExperimentSpec:
             raise ValueError("num_flows must be positive")
         if self.capacity_scale <= 0:
             raise ValueError("capacity_scale must be positive")
+        if isinstance(self.scenario, str):
+            self.resolve_scenario()

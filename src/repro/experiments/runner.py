@@ -117,6 +117,7 @@ class ExperimentRunner:
             make_cc_factory(spec.cc),
             config,
             trace_links=spec.trace_links,
+            scenario=spec.resolve_scenario(),
         )
         result = simulation.run()
         profile = SlowdownProfile.from_records(spec.name, result.records)

@@ -1,0 +1,62 @@
+"""Dynamic scenario engine: mid-run fault injection and traffic events.
+
+A :class:`Scenario` is a declarative timeline of events — link failures and
+recoveries, capacity degradations, traffic surges and drains, whole-DC
+maintenance windows — and the :class:`ScenarioInjector` schedules it on a
+running :class:`~repro.simulator.fluid.FluidSimulation`, re-evaluating
+in-flight flows so the paper's data-plane fast-failover machinery (lazy
+flow-cache invalidation, §3.4) is exercised by the simulator itself.
+
+Canned scenarios live in :mod:`repro.scenarios.library` and can be named by
+string from :class:`~repro.experiments.configs.ExperimentSpec`.
+"""
+
+from .events import (
+    CapacityChange,
+    DCMaintenance,
+    LinkDown,
+    LinkEvent,
+    LinkUp,
+    Scenario,
+    ScenarioEvent,
+    TrafficDrain,
+    TrafficSurge,
+)
+from .injector import (
+    SURGE_FLOW_ID_BASE,
+    EventOutcome,
+    ScenarioInjector,
+    ScenarioMetrics,
+)
+from .library import (
+    SCENARIO_BUILDERS,
+    cascading_failure,
+    diurnal_surge,
+    get_scenario,
+    rolling_maintenance,
+    scenario_names,
+    single_link_cut,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioEvent",
+    "LinkEvent",
+    "LinkDown",
+    "LinkUp",
+    "CapacityChange",
+    "TrafficSurge",
+    "TrafficDrain",
+    "DCMaintenance",
+    "ScenarioInjector",
+    "ScenarioMetrics",
+    "EventOutcome",
+    "SURGE_FLOW_ID_BASE",
+    "SCENARIO_BUILDERS",
+    "scenario_names",
+    "get_scenario",
+    "single_link_cut",
+    "cascading_failure",
+    "diurnal_surge",
+    "rolling_maintenance",
+]

@@ -1,0 +1,336 @@
+"""Declarative scenario events and timelines.
+
+A :class:`Scenario` is a named, immutable timeline of
+:class:`ScenarioEvent` objects — link failures and recoveries, capacity
+degradations, traffic surges and drains, whole-DC maintenance windows.  The
+timeline is pure data: nothing here touches the simulator.  The
+:class:`~repro.scenarios.injector.ScenarioInjector` schedules the events on
+the simulation engine's heap and applies them to the runtime network
+mid-run, which is what finally drives the paper's data-plane fast-failover
+machinery (lazy flow-cache invalidation, §3.4) from inside the simulator
+instead of from hand-written test scaffolding.
+
+Event semantics:
+
+* :class:`LinkDown` / :class:`LinkUp` — fail/recover an inter-DC link
+  (bidirectionally by default, matching a fiber cut).
+* :class:`CapacityChange` — scale a link's capacity relative to its
+  provisioned rate (brownouts, partial LAG failures); ``factor=1`` restores.
+* :class:`TrafficSurge` — inject an extra open-loop Poisson flow batch
+  starting at the event time (diurnal peaks, replication bursts).
+* :class:`TrafficDrain` — cancel a fraction of the not-yet-arrived demands
+  matching a DC filter (upstream throttling, tenant migration).
+* :class:`DCMaintenance` — take every inter-DC link adjacent to one DC down
+  for a window (rolling maintenance drains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Optional, Tuple
+
+__all__ = [
+    "ScenarioEvent",
+    "LinkEvent",
+    "LinkDown",
+    "LinkUp",
+    "CapacityChange",
+    "TrafficSurge",
+    "TrafficDrain",
+    "DCMaintenance",
+    "Scenario",
+]
+
+#: multiplicative hash constant used for deterministic fractional draining
+_GOLDEN = 0x9E3779B1
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """Base class: something that happens at one simulated instant."""
+
+    time_s: float
+    kind: ClassVar[str] = "event"
+
+    def validate(self, topology) -> None:
+        """Check the event against a topology.
+
+        Raises:
+            ValueError: when the event is malformed for ``topology``.
+        """
+        if self.time_s < 0:
+            raise ValueError(f"{self.kind}: time_s must be non-negative")
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return f"t={self.time_s:.3f}s {self.kind}"
+
+
+def _require_link(topology, src: str, dst: str, kind: str) -> None:
+    keys = {spec.key for spec in topology.inter_dc_links()}
+    if (src, dst) not in keys:
+        raise ValueError(f"{kind}: no inter-DC link {src!r}->{dst!r} in topology {topology.name!r}")
+
+
+@dataclass(frozen=True)
+class LinkEvent(ScenarioEvent):
+    """Shared shape of events targeting one (optionally bidirectional) link."""
+
+    src: str = ""
+    dst: str = ""
+    bidirectional: bool = True
+
+    def validate(self, topology) -> None:
+        super().validate(topology)
+        _require_link(topology, self.src, self.dst, self.kind)
+        if self.bidirectional:
+            _require_link(topology, self.dst, self.src, self.kind)
+
+    def describe(self) -> str:
+        arrow = "<->" if self.bidirectional else "->"
+        return f"t={self.time_s:.3f}s {self.kind} {self.src}{arrow}{self.dst}"
+
+
+@dataclass(frozen=True)
+class LinkDown(LinkEvent):
+    """Fail the inter-DC link ``src -> dst`` (both directions by default).
+
+    Down-causes are reference-counted on the runtime link: each
+    :class:`LinkDown` adds one cause and pairs with one :class:`LinkUp`,
+    so a cut that overlaps a :class:`DCMaintenance` window on the same
+    link keeps the port down until *both* causes are cleared.
+    """
+
+    kind: ClassVar[str] = "link-down"
+
+    def apply(self, network, now: float = 0.0) -> None:
+        """Take the port(s) down on the runtime network."""
+        network.fail_link(self.src, self.dst)
+        if self.bidirectional:
+            network.fail_link(self.dst, self.src)
+
+
+@dataclass(frozen=True)
+class LinkUp(LinkEvent):
+    """Recover a previously failed inter-DC link.
+
+    Removes one down-cause; the port only comes back up once no other
+    cause (another cut, an open maintenance window) remains.
+    """
+
+    kind: ClassVar[str] = "link-up"
+
+    def apply(self, network, now: float = 0.0) -> None:
+        """Bring the port(s) back up."""
+        network.recover_link(self.src, self.dst)
+        if self.bidirectional:
+            network.recover_link(self.dst, self.src)
+
+
+@dataclass(frozen=True)
+class CapacityChange(LinkEvent):
+    """Scale a link's capacity to ``factor`` x its provisioned rate.
+
+    Models brownouts (optical degradation, partial LAG-member failures):
+    the port stays up but drains slower, so congestion-aware routers shift
+    load away while oblivious ones keep hashing onto it.  ``factor=1``
+    restores the provisioned rate; use :class:`LinkDown` for a full outage.
+    """
+
+    factor: float = 1.0
+    kind: ClassVar[str] = "capacity-change"
+
+    def validate(self, topology) -> None:
+        super().validate(topology)
+        if self.factor <= 0:
+            raise ValueError(f"{self.kind}: factor must be positive (use LinkDown for an outage)")
+
+    def apply(self, network, now: float = 0.0) -> None:
+        """Apply the capacity factor to the runtime link(s)."""
+        network.link(self.src, self.dst).set_capacity_factor(self.factor, now)
+        if self.bidirectional:
+            network.link(self.dst, self.src).set_capacity_factor(self.factor, now)
+
+    def describe(self) -> str:
+        return super().describe() + f" x{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class TrafficSurge(ScenarioEvent):
+    """Inject an extra Poisson flow batch starting at the event time.
+
+    The surge is generated deterministically at scenario-install time (its
+    own seed, flow ids offset far above the base workload's) and its
+    arrivals are scheduled on the engine heap like any other demand, so a
+    surge composes with the base traffic matrix without perturbing it.
+
+    Exactly one of ``num_flows`` and ``duration_s`` must be given: with
+    ``duration_s`` the flow count is derived from the surge load so the
+    batch spans roughly that long.
+    """
+
+    pairs: Tuple[Tuple[str, str], ...] = ()
+    load: float = 0.3
+    num_flows: Optional[int] = None
+    duration_s: Optional[float] = None
+    workload: str = "websearch"
+    seed: int = 4242
+    kind: ClassVar[str] = "traffic-surge"
+
+    def validate(self, topology) -> None:
+        super().validate(topology)
+        if not self.pairs:
+            raise ValueError(f"{self.kind}: needs at least one (src, dst) DC pair")
+        dcs = set(topology.dcs)
+        for src, dst in self.pairs:
+            if src not in dcs or dst not in dcs:
+                raise ValueError(f"{self.kind}: unknown DC in pair ({src!r}, {dst!r})")
+            if src == dst:
+                raise ValueError(f"{self.kind}: surge pairs must connect distinct DCs")
+        if self.load <= 0:
+            raise ValueError(f"{self.kind}: load must be positive")
+        if (self.num_flows is None) == (self.duration_s is None):
+            raise ValueError(f"{self.kind}: give exactly one of num_flows / duration_s")
+        if self.num_flows is not None and self.num_flows <= 0:
+            raise ValueError(f"{self.kind}: num_flows must be positive")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ValueError(f"{self.kind}: duration_s must be positive")
+
+    def describe(self) -> str:
+        span = (
+            f"{self.num_flows} flows" if self.num_flows is not None
+            else f"~{self.duration_s:g}s"
+        )
+        return f"t={self.time_s:.3f}s {self.kind} load={self.load:g} ({span})"
+
+
+@dataclass(frozen=True)
+class TrafficDrain(ScenarioEvent):
+    """Cancel a fraction of the not-yet-arrived demands matching a filter.
+
+    ``src_dc`` / ``dst_dc`` restrict which pending demands are drained
+    (``None`` matches any); ``fraction`` selects a deterministic hash-based
+    subset so repeated runs drain the same flows.
+    """
+
+    src_dc: Optional[str] = None
+    dst_dc: Optional[str] = None
+    fraction: float = 1.0
+    kind: ClassVar[str] = "traffic-drain"
+
+    def validate(self, topology) -> None:
+        super().validate(topology)
+        if not 0 < self.fraction <= 1.0:
+            raise ValueError(f"{self.kind}: fraction must be in (0, 1]")
+        dcs = set(topology.dcs)
+        for name in (self.src_dc, self.dst_dc):
+            if name is not None and name not in dcs:
+                raise ValueError(f"{self.kind}: unknown DC {name!r}")
+
+    def matches(self, demand) -> bool:
+        """Whether a pending demand is drained by this event."""
+        if self.src_dc is not None and demand.src_dc != self.src_dc:
+            return False
+        if self.dst_dc is not None and demand.dst_dc != self.dst_dc:
+            return False
+        if self.fraction >= 1.0:
+            return True
+        bucket = ((demand.flow_id * _GOLDEN) & 0xFFFFFFFF) / float(1 << 32)
+        return bucket < self.fraction
+
+    def describe(self) -> str:
+        scope = f"{self.src_dc or '*'}->{self.dst_dc or '*'}"
+        return f"t={self.time_s:.3f}s {self.kind} {scope} ({self.fraction:.0%})"
+
+
+@dataclass(frozen=True)
+class DCMaintenance(ScenarioEvent):
+    """Take every inter-DC link adjacent to ``dc`` down for a window.
+
+    Models a maintenance drain of one datacenter: all its DCI ports go dark
+    at ``time_s`` and return at ``time_s + duration_s``.  In-flight flows
+    relayed through the DC are disrupted and must fail over; flows sourced
+    or sunk there are stranded until the window ends (or are failed once the
+    scenario's stranded timeout expires).
+    """
+
+    dc: str = ""
+    duration_s: float = 0.0
+    kind: ClassVar[str] = "dc-maintenance"
+
+    def validate(self, topology) -> None:
+        super().validate(topology)
+        if self.dc not in set(topology.dcs):
+            raise ValueError(f"{self.kind}: unknown DC {self.dc!r}")
+        if self.duration_s <= 0:
+            raise ValueError(f"{self.kind}: duration_s must be positive")
+
+    def _adjacent_links(self, network):
+        return [
+            link
+            for link in network.inter_dc_links
+            if self.dc in (link.spec.src, link.spec.dst)
+        ]
+
+    def apply(self, network, now: float = 0.0) -> None:
+        """Start the maintenance window: all adjacent ports go down."""
+        for link in self._adjacent_links(network):
+            link.fail()
+
+    def revert(self, network, now: float = 0.0) -> None:
+        """End the maintenance window: all adjacent ports come back."""
+        for link in self._adjacent_links(network):
+            link.recover()
+
+    @property
+    def end_s(self) -> float:
+        """Absolute time the maintenance window closes."""
+        return self.time_s + self.duration_s
+
+    def describe(self) -> str:
+        return f"t={self.time_s:.3f}s {self.kind} {self.dc} for {self.duration_s:g}s"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, immutable event timeline plus failure-handling policy.
+
+    Attributes:
+        name: label used in reports and metrics.
+        events: the timeline (any order; sorted by time when injected).
+        stranded_timeout_s: when set, a disrupted in-flight flow that cannot
+            be re-routed onto a healthy path within this many seconds is
+            explicitly failed (recorded in
+            :attr:`~repro.simulator.fluid.SimulationResult.failed_flows`);
+            when ``None`` stranded flows stay pinned and resume if their
+            path recovers — the pre-scenario simulator behaviour.
+        description: free-form notes for reports.
+    """
+
+    name: str
+    events: Tuple[ScenarioEvent, ...] = ()
+    stranded_timeout_s: Optional[float] = None
+    description: str = ""
+
+    def sorted_events(self) -> Tuple[ScenarioEvent, ...]:
+        """Events ordered by time (stable for equal times)."""
+        return tuple(sorted(self.events, key=lambda e: e.time_s))
+
+    def validate(self, topology) -> None:
+        """Validate every event against ``topology``.
+
+        Raises:
+            ValueError: when any event is malformed.
+        """
+        if not self.name:
+            raise ValueError("scenario needs a name")
+        if self.stranded_timeout_s is not None and self.stranded_timeout_s <= 0:
+            raise ValueError("stranded_timeout_s must be positive when set")
+        for event in self.events:
+            event.validate(topology)
+
+    def describe(self) -> str:
+        """Multi-line summary of the timeline."""
+        lines = [f"scenario {self.name!r} ({len(self.events)} events)"]
+        lines.extend("  " + event.describe() for event in self.sorted_events())
+        return "\n".join(lines)

@@ -1,0 +1,209 @@
+"""Canned, parameterisable scenarios for examples, benchmarks and specs.
+
+Each builder returns a fully formed :class:`~repro.scenarios.events.Scenario`
+sized for the testbed8 topology by default but parameterisable for any
+topology.  The registry lets experiment specs name a scenario by string
+(``ExperimentSpec(scenario="single-link-cut")``) the same way they name
+routers and congestion controls.
+
+Builders:
+
+* :func:`single_link_cut` — one fiber cut and its repair, the paper's §3.4
+  fast-failover experiment.
+* :func:`cascading_failure` — several links die in sequence (a correlated
+  outage walking across the backbone), then everything is repaired at once.
+* :func:`diurnal_surge` — repeated traffic peaks on top of the base load
+  (the inter-DC diurnal pattern).
+* :func:`rolling_maintenance` — DCs are drained one after another, each for
+  a fixed window (a software-rollout wave).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .events import (
+    DCMaintenance,
+    LinkDown,
+    LinkUp,
+    Scenario,
+    ScenarioEvent,
+    TrafficSurge,
+)
+
+__all__ = [
+    "single_link_cut",
+    "cascading_failure",
+    "diurnal_surge",
+    "rolling_maintenance",
+    "SCENARIO_BUILDERS",
+    "scenario_names",
+    "get_scenario",
+]
+
+
+def single_link_cut(
+    fail_at_s: float = 0.5,
+    recover_at_s: float = 1.5,
+    src: str = "DC1",
+    dst: str = "DC7",
+    stranded_timeout_s: Optional[float] = None,
+) -> Scenario:
+    """One bidirectional fiber cut and its repair.
+
+    The default cuts DC1->DC7, the most attractive low-delay route of the
+    8-DC testbed, so in-flight flows must fail over onto slower candidates
+    and FCT slowdown visibly degrades until the repair.
+    """
+    if recover_at_s <= fail_at_s:
+        raise ValueError("recover_at_s must come after fail_at_s")
+    return Scenario(
+        name="single-link-cut",
+        events=(
+            LinkDown(fail_at_s, src, dst),
+            LinkUp(recover_at_s, src, dst),
+        ),
+        stranded_timeout_s=stranded_timeout_s,
+        description=f"cut {src}<->{dst} at {fail_at_s:g}s, repair at {recover_at_s:g}s",
+    )
+
+
+def cascading_failure(
+    links: Sequence[Tuple[str, str]] = (("DC1", "DC7"), ("DC1", "DC5"), ("DC1", "DC3")),
+    first_at_s: float = 0.5,
+    interval_s: float = 0.25,
+    repair_at_s: Optional[float] = None,
+    stranded_timeout_s: Optional[float] = 0.5,
+) -> Scenario:
+    """Links fail one after another; everything is repaired at once.
+
+    Each successive cut removes another candidate, concentrating load (and
+    eventually stranding flows when every candidate is gone — which is why
+    the default sets a stranded timeout so blackholed flows are recorded as
+    failed instead of hanging the drain phase).
+    """
+    if not links:
+        raise ValueError("cascading_failure needs at least one link")
+    if interval_s <= 0:
+        raise ValueError("interval_s must be positive")
+    last_cut_s = first_at_s + interval_s * (len(links) - 1)
+    if repair_at_s is None:
+        repair_at_s = last_cut_s + 4 * interval_s
+    if repair_at_s <= last_cut_s:
+        raise ValueError("repair_at_s must come after the last cut")
+    events: List[ScenarioEvent] = [
+        LinkDown(first_at_s + i * interval_s, src, dst)
+        for i, (src, dst) in enumerate(links)
+    ]
+    events.extend(LinkUp(repair_at_s, src, dst) for src, dst in links)
+    return Scenario(
+        name="cascading-failure",
+        events=tuple(events),
+        stranded_timeout_s=stranded_timeout_s,
+        description=(
+            f"{len(links)} links fail every {interval_s:g}s from {first_at_s:g}s, "
+            f"all repaired at {repair_at_s:g}s"
+        ),
+    )
+
+
+def diurnal_surge(
+    pairs: Sequence[Tuple[str, str]] = (("DC1", "DC8"),),
+    first_peak_s: float = 0.5,
+    period_s: float = 2.0,
+    peaks: int = 2,
+    peak_load: float = 0.4,
+    flows_per_peak: int = 200,
+    workload: str = "websearch",
+    seed: int = 4242,
+) -> Scenario:
+    """Repeated traffic peaks on top of the base matrix.
+
+    Each peak injects an extra Poisson batch at ``peak_load`` between the
+    given DC pairs; the period models the (time-compressed) diurnal cycle of
+    inter-DC traffic.
+    """
+    if peaks <= 0:
+        raise ValueError("peaks must be positive")
+    if period_s <= 0:
+        raise ValueError("period_s must be positive")
+    events = tuple(
+        TrafficSurge(
+            first_peak_s + i * period_s,
+            pairs=tuple(pairs),
+            load=peak_load,
+            num_flows=flows_per_peak,
+            workload=workload,
+            seed=seed,
+        )
+        for i in range(peaks)
+    )
+    return Scenario(
+        name="diurnal-surge",
+        events=events,
+        description=(
+            f"{peaks} peaks of {flows_per_peak} flows at load {peak_load:g}, "
+            f"every {period_s:g}s from {first_peak_s:g}s"
+        ),
+    )
+
+
+def rolling_maintenance(
+    dcs: Sequence[str] = ("DC2", "DC4", "DC6"),
+    first_at_s: float = 0.5,
+    window_s: float = 0.4,
+    gap_s: float = 0.2,
+    stranded_timeout_s: Optional[float] = 0.5,
+) -> Scenario:
+    """Drain DCs one after another, each for a fixed maintenance window.
+
+    Windows do not overlap (the next DC starts ``gap_s`` after the previous
+    window closes), mirroring a rollout wave that never takes two relays
+    down at once.
+    """
+    if not dcs:
+        raise ValueError("rolling_maintenance needs at least one DC")
+    if window_s <= 0 or gap_s < 0:
+        raise ValueError("window_s must be positive and gap_s non-negative")
+    events = tuple(
+        DCMaintenance(first_at_s + i * (window_s + gap_s), dc=dc, duration_s=window_s)
+        for i, dc in enumerate(dcs)
+    )
+    return Scenario(
+        name="rolling-maintenance",
+        events=events,
+        stranded_timeout_s=stranded_timeout_s,
+        description=(
+            f"drain {', '.join(dcs)} for {window_s:g}s each, "
+            f"{gap_s:g}s apart, from {first_at_s:g}s"
+        ),
+    )
+
+
+#: registry of canned scenario builders, keyed by the spec-facing name
+SCENARIO_BUILDERS: Dict[str, Callable[..., Scenario]] = {
+    "single-link-cut": single_link_cut,
+    "cascading-failure": cascading_failure,
+    "diurnal-surge": diurnal_surge,
+    "rolling-maintenance": rolling_maintenance,
+}
+
+
+def scenario_names() -> List[str]:
+    """Names accepted by :func:`get_scenario` (and by experiment specs)."""
+    return sorted(SCENARIO_BUILDERS)
+
+
+def get_scenario(name: str, **kwargs) -> Scenario:
+    """Build a canned scenario by name.
+
+    Raises:
+        KeyError: for unknown names (message lists the known ones).
+    """
+    try:
+        builder = SCENARIO_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(scenario_names())}"
+        ) from None
+    return builder(**kwargs)

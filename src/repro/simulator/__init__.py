@@ -13,7 +13,7 @@ from .config import SimulationConfig
 from .engine import Event, EventQueue, SimulationEngine, SimulationError
 from .fct import FCTCollector, FlowRecord, IdealFctModel
 from .flow import FeedbackSignal, Flow, FlowDemand
-from .fluid import FluidSimulation, LinkStats, SimulationResult
+from .fluid import FlowFailure, FluidSimulation, LinkStats, SimulationResult
 from .link import RuntimeLink
 from .monitor import LinkTrace, LinkTraceSample, QueueMonitor
 from .network import RoutingLoopError, RuntimeNetwork
@@ -31,6 +31,7 @@ __all__ = [
     "FeedbackSignal",
     "Flow",
     "FlowDemand",
+    "FlowFailure",
     "FluidSimulation",
     "LinkStats",
     "SimulationResult",

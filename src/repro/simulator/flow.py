@@ -95,6 +95,8 @@ class Flow:
         self.finish_s: Optional[float] = None
         #: achieved throughput during the most recent update step (bps)
         self.achieved_bps: float = 0.0
+        #: when the flow's path lost a link (None while the path is healthy)
+        self.disrupted_s: Optional[float] = None
         #: congestion feedback in flight towards the sender
         self._pending_feedback: List[Tuple[float, FeedbackSignal]] = []
 

@@ -15,6 +15,12 @@ Flows are modelled as fluid: every ``update_interval`` the simulation
 
 Routing decisions happen exactly once per flow, at arrival time, by walking
 DCI switches hop by hop (see :class:`~repro.simulator.network.RuntimeNetwork`).
+
+A run may additionally carry a :class:`~repro.scenarios.events.Scenario`:
+its injector schedules fault/traffic events on the same engine heap and
+calls :meth:`FluidSimulation.revalidate_flows` after each topology mutation,
+so in-flight flows are re-routed (or explicitly failed) through the lazy
+fast-failover path mid-run.
 """
 
 from __future__ import annotations
@@ -32,7 +38,7 @@ from .link import RuntimeLink
 from .monitor import LinkTrace, QueueMonitor
 from .network import RuntimeNetwork
 
-__all__ = ["LinkStats", "SimulationResult", "FluidSimulation"]
+__all__ = ["LinkStats", "FlowFailure", "SimulationResult", "FluidSimulation"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +51,25 @@ class LinkStats:
     dropped_bytes: float
     peak_queue_bytes: float
     utilization: float
+
+
+@dataclass(frozen=True)
+class FlowFailure:
+    """A flow explicitly failed by the scenario engine.
+
+    Recorded when a disrupted flow could not be moved onto a healthy path
+    within the scenario's stranded timeout — the simulation's equivalent of
+    the application giving up on a blackholed connection.
+    """
+
+    flow_id: int
+    src_dc: str
+    dst_dc: str
+    size_bytes: int
+    arrival_s: float
+    disrupted_s: float
+    failed_s: float
+    remaining_bytes: float
 
 
 @dataclass
@@ -60,6 +85,11 @@ class SimulationResult:
         routing_decisions: total number of per-switch routing decisions.
         monitor_samples: number of queue-monitor sweeps taken.
         trace: optional per-link time series.
+        failed_flows: flows explicitly failed by the scenario engine
+            (stranded on a dead path past the scenario's timeout).
+        scenario_metrics: per-event recovery metrics
+            (:class:`~repro.scenarios.injector.ScenarioMetrics`) when the
+            run carried a scenario, else ``None``.
     """
 
     records: List[FlowRecord]
@@ -69,6 +99,8 @@ class SimulationResult:
     routing_decisions: int
     monitor_samples: int
     trace: Optional[LinkTrace] = None
+    failed_flows: List[FlowFailure] = field(default_factory=list)
+    scenario_metrics: Optional[object] = None
 
     def slowdowns(self) -> List[float]:
         """All flow slowdowns."""
@@ -89,6 +121,7 @@ class FluidSimulation:
         cc_factory: Callable[[float, float], object],
         config: Optional[SimulationConfig] = None,
         trace_links: bool = False,
+        scenario=None,
     ) -> None:
         """Prepare a run.
 
@@ -100,6 +133,10 @@ class FluidSimulation:
             config: simulation tunables.
             trace_links: record per-link time series (costs memory; used by
                 the motivation figure).
+            scenario: optional :class:`~repro.scenarios.events.Scenario`;
+                its events (fault injection, traffic surges, capacity
+                changes) are scheduled on the engine heap and applied to the
+                runtime network mid-run.
         """
         self.network = network
         self.config = config or network.config
@@ -119,6 +156,18 @@ class FluidSimulation:
         self._active: List[Flow] = []
         self._pending_arrivals = len(self.demands)
         self._stopped = False
+        #: flow id -> (arrival Event, demand) for not-yet-arrived flows
+        self._arrival_events: Dict[int, Tuple[object, FlowDemand]] = {}
+        self._injected_last_arrival_s = 0.0
+        self._failed: List[FlowFailure] = []
+
+        self.injector = None
+        if scenario is not None:
+            # local import: repro.scenarios depends on the simulator types
+            from ..scenarios.injector import ScenarioInjector
+
+            self.injector = ScenarioInjector(scenario, self)
+            self.injector.install()
 
     # ------------------------------------------------------------------ #
     # public API
@@ -126,7 +175,7 @@ class FluidSimulation:
     def run(self) -> SimulationResult:
         """Execute the simulation and return its result."""
         for demand in self.demands:
-            self.engine.schedule(demand.arrival_s, self._make_arrival(demand))
+            self._schedule_arrival(demand)
 
         # the monitor is scheduled before the rate/queue update so that when
         # both fire at the same instant the switch samples its queues first
@@ -140,6 +189,7 @@ class FluidSimulation:
         self.engine.schedule_periodic(self.config.gc_interval_s, self._gc_step)
 
         last_arrival = self.demands[-1].arrival_s if self.demands else 0.0
+        last_arrival = max(last_arrival, self._injected_last_arrival_s)
         deadline = min(
             self.config.max_sim_time_s, last_arrival + self.config.drain_timeout_s
         )
@@ -147,10 +197,83 @@ class FluidSimulation:
         return self._build_result()
 
     # ------------------------------------------------------------------ #
+    # scenario-facing API (used by repro.scenarios.injector)
+    # ------------------------------------------------------------------ #
+    def inject_demands(self, demands: Sequence[FlowDemand]) -> None:
+        """Add demands mid-run (or pre-run): traffic-surge events.
+
+        Raises:
+            SimulationError: if a demand's arrival lies in the past.
+        """
+        for demand in demands:
+            self._pending_arrivals += 1
+            self._schedule_arrival(demand)
+            self._injected_last_arrival_s = max(
+                self._injected_last_arrival_s, demand.arrival_s
+            )
+
+    def cancel_pending(self, predicate: Callable[[FlowDemand], bool]) -> int:
+        """Cancel not-yet-arrived demands matching ``predicate``.
+
+        Returns:
+            Number of demands cancelled (traffic-drain events).
+        """
+        cancelled = 0
+        for flow_id, (event, demand) in list(self._arrival_events.items()):
+            if predicate(demand):
+                event.cancel()
+                del self._arrival_events[flow_id]
+                self._pending_arrivals -= 1
+                cancelled += 1
+        return cancelled
+
+    def revalidate_flows(self, now: float) -> None:
+        """Re-evaluate every in-flight flow against current link liveness.
+
+        Runs on every update step and immediately after each scenario state
+        event.  A flow whose path crosses a dead port is treated as if its
+        next packet re-arrived at the switch — the stale flow-cache entry is
+        lazily invalidated and the flow re-hashed onto a healthy candidate
+        (paper §3.4).  A flow with no healthy alternative stays pinned until
+        its path recovers, or — when the scenario sets a stranded timeout —
+        is explicitly failed and recorded.
+        """
+        stranded_timeout = None
+        if self.injector is not None:
+            stranded_timeout = self.injector.scenario.stranded_timeout_s
+        for flow in list(self._active):
+            broken = any(not link.up for link in flow.path)
+            if not broken:
+                if flow.disrupted_s is not None:
+                    # the original path healed in place (link recovery)
+                    if self.injector is not None:
+                        self.injector.on_flow_restored(flow, now)
+                    flow.disrupted_s = None
+                continue
+            if flow.disrupted_s is None:
+                flow.disrupted_s = now
+                if self.injector is not None:
+                    self.injector.on_flow_disrupted(flow, now)
+            if self._reroute_flow(flow, now):
+                if self.injector is not None:
+                    self.injector.on_flow_rerouted(flow, now)
+                flow.disrupted_s = None
+            elif (
+                stranded_timeout is not None
+                and now - flow.disrupted_s >= stranded_timeout
+            ):
+                self._fail_flow(flow, now)
+
+    # ------------------------------------------------------------------ #
     # event handlers
     # ------------------------------------------------------------------ #
+    def _schedule_arrival(self, demand: FlowDemand) -> None:
+        event = self.engine.schedule(demand.arrival_s, self._make_arrival(demand))
+        self._arrival_events[demand.flow_id] = (event, demand)
+
     def _make_arrival(self, demand: FlowDemand) -> Callable[[], None]:
         def arrive() -> None:
+            self._arrival_events.pop(demand.flow_id, None)
             self._pending_arrivals -= 1
             now = self.engine.now
             path = self.network.resolve_path(demand, now)
@@ -177,13 +300,8 @@ class FluidSimulation:
                 self.engine.stop()
             return
 
-        # 0. lazy fast-failover: a flow whose path crosses a dead port is
-        # treated as if its next packet re-arrived at the switch — the stale
-        # flow-cache entry is invalidated and the flow is re-hashed onto a
-        # healthy candidate (paper §3.4)
-        for flow in self._active:
-            if any(not link.up for link in flow.path):
-                self._reroute_flow(flow, now)
+        # 0. lazy fast-failover sweep (see revalidate_flows)
+        self.revalidate_flows(now)
 
         # 1. offered load per link
         offered: Dict[RuntimeLink, float] = {}
@@ -235,18 +353,41 @@ class FluidSimulation:
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
-    def _reroute_flow(self, flow: Flow, now: float) -> None:
-        """Re-resolve the path of a flow that lost a link (fast-failover)."""
+    def _reroute_flow(self, flow: Flow, now: float) -> bool:
+        """Re-resolve the path of a flow that lost a link (fast-failover).
+
+        Returns:
+            True when the flow was moved onto a fully healthy path.
+        """
         try:
             new_path = self.network.resolve_path(flow.demand, now)
         except Exception:
             # no alternative route at all: leave the flow pinned; it will
             # resume if the link recovers
-            return
+            return False
         if any(not link.up for link in new_path):
-            return
+            return False
         flow.path = tuple(new_path)
         flow.base_rtt_s = 2.0 * sum(link.delay_s for link in new_path)
+        return True
+
+    def _fail_flow(self, flow: Flow, now: float) -> None:
+        """Explicitly fail a flow stranded on a dead path past the timeout."""
+        self._active.remove(flow)
+        self._failed.append(
+            FlowFailure(
+                flow_id=flow.flow_id,
+                src_dc=flow.demand.src_dc,
+                dst_dc=flow.demand.dst_dc,
+                size_bytes=flow.size_bytes,
+                arrival_s=flow.demand.arrival_s,
+                disrupted_s=flow.disrupted_s if flow.disrupted_s is not None else now,
+                failed_s=now,
+                remaining_bytes=flow.remaining_bytes,
+            )
+        )
+        if self.injector is not None:
+            self.injector.on_flow_failed(flow, now)
 
     def _feedback_for(
         self, flow: Flow, offered: Dict[RuntimeLink, float], now: float
@@ -293,4 +434,6 @@ class FluidSimulation:
             routing_decisions=decisions,
             monitor_samples=self.monitor.samples_taken,
             trace=self._trace,
+            failed_flows=list(self._failed),
+            scenario_metrics=self.injector.metrics if self.injector else None,
         )

@@ -34,8 +34,18 @@ class RuntimeLink:
         self.dropped_bytes: float = 0.0
         #: offered load (bps) during the most recent update step
         self.offered_bps: float = 0.0
-        #: True while the port is administratively/physically up
-        self.up: bool = True
+        #: number of outstanding down-causes (0 = port is up); fail() and
+        #: recover() pair up so overlapping faults (an explicit link cut
+        #: during a DC maintenance window) compose instead of the second
+        #: recovery silently resurrecting a still-failed port
+        self._down_causes: int = 0
+        #: effective capacity relative to the provisioned rate (scenario
+        #: capacity-degradation events scale this; 1.0 = healthy)
+        self.capacity_factor: float = 1.0
+        #: capacity offered so far (bits) and the time it is accrued up to;
+        #: keeps utilization() correct when the factor changes mid-run
+        self._cap_integral_bits: float = 0.0
+        self._cap_marker_s: float = 0.0
         self._ecn_kmin = ecn_kmin_fraction * spec.buffer_bytes
         self._ecn_kmax = ecn_kmax_fraction * spec.buffer_bytes
         self._ecn_pmax = ecn_pmax
@@ -50,8 +60,8 @@ class RuntimeLink:
 
     @property
     def cap_bps(self) -> float:
-        """Provisioned capacity in bits per second."""
-        return self.spec.cap_bps
+        """Effective capacity in bits per second (provisioned x factor)."""
+        return self.spec.cap_bps * self.capacity_factor
 
     @property
     def delay_s(self) -> float:
@@ -62,6 +72,17 @@ class RuntimeLink:
     def buffer_bytes(self) -> int:
         """Egress buffer size in bytes."""
         return self.spec.buffer_bytes
+
+    @property
+    def up(self) -> bool:
+        """True while the port has no outstanding down-cause."""
+        return self._down_causes == 0
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        # direct assignment is an absolute override (used by tests and
+        # ad-hoc scripts): it discards any down-cause bookkeeping
+        self._down_causes = 0 if value else max(1, self._down_causes)
 
     # ------------------------------------------------------------------ #
     # fluid update
@@ -124,21 +145,56 @@ class RuntimeLink:
         return self.queue_bytes * 8.0 / self.cap_bps
 
     def utilization(self, elapsed_s: float) -> float:
-        """Average utilisation (carried bits / capacity) since reset."""
+        """Average utilisation: carried bits over capacity offered so far.
+
+        The denominator integrates the effective capacity over time, so a
+        mid-run :meth:`set_capacity_factor` change (scenario brownout) does
+        not retroactively re-rate the whole run.
+        """
         if elapsed_s <= 0:
             return 0.0
-        return min(1.0, (self.carried_bytes * 8.0) / (self.cap_bps * elapsed_s))
+        capacity_bits = self._cap_integral_bits + self.cap_bps * max(
+            0.0, elapsed_s - self._cap_marker_s
+        )
+        if capacity_bits <= 0:
+            return 0.0
+        return min(1.0, (self.carried_bytes * 8.0) / capacity_bits)
 
     # ------------------------------------------------------------------ #
     # fault injection
     # ------------------------------------------------------------------ #
     def fail(self) -> None:
-        """Take the port down (data-plane fast-failover experiments)."""
-        self.up = False
+        """Add one down-cause (data-plane fast-failover experiments).
+
+        Each :meth:`fail` pairs with one :meth:`recover`; the port is up
+        only when every cause has been recovered, so overlapping faults
+        (maintenance window + explicit cut) compose correctly.
+        """
+        self._down_causes += 1
 
     def recover(self) -> None:
-        """Bring the port back up."""
-        self.up = True
+        """Remove one down-cause; the port comes up when none remain."""
+        self._down_causes = max(0, self._down_causes - 1)
+
+    def set_capacity_factor(self, factor: float, now: float = 0.0) -> None:
+        """Scale the effective capacity to ``factor`` x the provisioned rate.
+
+        Args:
+            factor: multiplier applied to the provisioned rate.
+            now: simulated time of the change; capacity offered up to this
+                instant is accrued at the old rate so utilisation stays
+                correct across the change.
+
+        Raises:
+            ValueError: when ``factor`` is not positive (a zero-capacity
+                port is an outage; use :meth:`fail` for that).
+        """
+        if factor <= 0:
+            raise ValueError("capacity factor must be positive; use fail() for an outage")
+        if now > self._cap_marker_s:
+            self._cap_integral_bits += self.cap_bps * (now - self._cap_marker_s)
+            self._cap_marker_s = now
+        self.capacity_factor = float(factor)
 
     def reset_counters(self) -> None:
         """Zero carried/dropped byte counters (keeps queue state)."""

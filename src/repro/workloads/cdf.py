@@ -96,7 +96,10 @@ class FlowSizeCDF:
                 if span <= 0:
                     return sizes[i]
                 frac = (prob - probs[i - 1]) / span
-                return sizes[i - 1] + frac * (sizes[i] - sizes[i - 1])
+                value = sizes[i - 1] + frac * (sizes[i] - sizes[i - 1])
+                # Interpolation can overshoot the segment endpoints by one
+                # ulp; clamp so quantiles stay inside the CDF support.
+                return min(max(value, sizes[i - 1]), sizes[i])
         return sizes[-1]
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,151 @@
+"""Validation and shape of the declarative scenario event model."""
+
+import pytest
+
+from repro.scenarios import (
+    CapacityChange,
+    DCMaintenance,
+    LinkDown,
+    LinkUp,
+    Scenario,
+    TrafficDrain,
+    TrafficSurge,
+)
+
+
+class TestLinkEvents:
+    def test_valid_link_down(self, tiny_topology):
+        LinkDown(0.5, "A", "B").validate(tiny_topology)
+
+    def test_negative_time_rejected(self, tiny_topology):
+        with pytest.raises(ValueError, match="non-negative"):
+            LinkDown(-0.1, "A", "B").validate(tiny_topology)
+
+    def test_unknown_link_rejected(self, tiny_topology):
+        with pytest.raises(ValueError, match="no inter-DC link"):
+            LinkDown(0.0, "A", "Z").validate(tiny_topology)
+
+    def test_unidirectional_checks_one_direction(self, tiny_topology):
+        # every tiny-topology link exists in both directions, so both pass;
+        # the directed form must not require the reverse key of a bogus pair
+        LinkUp(0.0, "B", "A", bidirectional=False).validate(tiny_topology)
+
+    def test_describe_mentions_endpoints(self):
+        text = LinkDown(1.25, "A", "B").describe()
+        assert "A" in text and "B" in text and "link-down" in text
+
+
+class TestCapacityChange:
+    def test_valid(self, tiny_topology):
+        CapacityChange(0.1, "A", "B", factor=0.5).validate(tiny_topology)
+
+    @pytest.mark.parametrize("factor", [0.0, -1.0])
+    def test_non_positive_factor_rejected(self, tiny_topology, factor):
+        with pytest.raises(ValueError, match="factor must be positive"):
+            CapacityChange(0.1, "A", "B", factor=factor).validate(tiny_topology)
+
+
+class TestTrafficSurge:
+    def test_valid_with_num_flows(self, tiny_topology):
+        TrafficSurge(0.2, pairs=(("A", "B"),), num_flows=10).validate(tiny_topology)
+
+    def test_valid_with_duration(self, tiny_topology):
+        TrafficSurge(0.2, pairs=(("A", "B"),), duration_s=0.5).validate(tiny_topology)
+
+    def test_needs_exactly_one_sizing(self, tiny_topology):
+        with pytest.raises(ValueError, match="exactly one"):
+            TrafficSurge(0.2, pairs=(("A", "B"),)).validate(tiny_topology)
+        with pytest.raises(ValueError, match="exactly one"):
+            TrafficSurge(
+                0.2, pairs=(("A", "B"),), num_flows=5, duration_s=0.5
+            ).validate(tiny_topology)
+
+    def test_unknown_dc_rejected(self, tiny_topology):
+        with pytest.raises(ValueError, match="unknown DC"):
+            TrafficSurge(0.2, pairs=(("A", "Z"),), num_flows=5).validate(tiny_topology)
+
+    def test_empty_pairs_rejected(self, tiny_topology):
+        with pytest.raises(ValueError, match="at least one"):
+            TrafficSurge(0.2, pairs=(), num_flows=5).validate(tiny_topology)
+
+
+class TestTrafficDrain:
+    def test_valid(self, tiny_topology):
+        TrafficDrain(0.3, src_dc="A").validate(tiny_topology)
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.5, -0.2])
+    def test_fraction_bounds(self, tiny_topology, fraction):
+        with pytest.raises(ValueError, match="fraction"):
+            TrafficDrain(0.3, fraction=fraction).validate(tiny_topology)
+
+    def test_matches_filters_by_pair(self):
+        drain = TrafficDrain(0.0, src_dc="A", dst_dc="B")
+
+        class Demand:
+            def __init__(self, fid, src, dst):
+                self.flow_id, self.src_dc, self.dst_dc = fid, src, dst
+
+        assert drain.matches(Demand(1, "A", "B"))
+        assert not drain.matches(Demand(1, "A", "C"))
+        assert not drain.matches(Demand(1, "C", "B"))
+
+    def test_fractional_drain_is_deterministic_subset(self):
+        drain = TrafficDrain(0.0, fraction=0.5)
+
+        class Demand:
+            def __init__(self, fid):
+                self.flow_id, self.src_dc, self.dst_dc = fid, "A", "B"
+
+        picked = [fid for fid in range(1000) if drain.matches(Demand(fid))]
+        again = [fid for fid in range(1000) if drain.matches(Demand(fid))]
+        assert picked == again
+        # roughly half, and a strict subset
+        assert 350 < len(picked) < 650
+
+
+class TestDCMaintenance:
+    def test_valid(self, tiny_topology):
+        DCMaintenance(0.5, dc="C", duration_s=0.2).validate(tiny_topology)
+
+    def test_unknown_dc_rejected(self, tiny_topology):
+        with pytest.raises(ValueError, match="unknown DC"):
+            DCMaintenance(0.5, dc="Z", duration_s=0.2).validate(tiny_topology)
+
+    def test_non_positive_duration_rejected(self, tiny_topology):
+        with pytest.raises(ValueError, match="duration_s"):
+            DCMaintenance(0.5, dc="C", duration_s=0.0).validate(tiny_topology)
+
+    def test_end_time(self):
+        event = DCMaintenance(0.5, dc="C", duration_s=0.25)
+        assert event.end_s == pytest.approx(0.75)
+
+
+class TestScenario:
+    def test_sorted_events(self, tiny_topology):
+        scenario = Scenario(
+            name="s",
+            events=(LinkUp(1.0, "A", "B"), LinkDown(0.5, "A", "B")),
+        )
+        times = [e.time_s for e in scenario.sorted_events()]
+        assert times == sorted(times)
+        scenario.validate(tiny_topology)
+
+    def test_validate_propagates_event_errors(self, tiny_topology):
+        scenario = Scenario(name="s", events=(LinkDown(0.0, "A", "Z"),))
+        with pytest.raises(ValueError, match="no inter-DC link"):
+            scenario.validate(tiny_topology)
+
+    def test_needs_name(self, tiny_topology):
+        with pytest.raises(ValueError, match="name"):
+            Scenario(name="", events=()).validate(tiny_topology)
+
+    def test_stranded_timeout_positive(self, tiny_topology):
+        with pytest.raises(ValueError, match="stranded_timeout_s"):
+            Scenario(name="s", stranded_timeout_s=0.0).validate(tiny_topology)
+
+    def test_describe_lists_events(self, tiny_topology):
+        scenario = Scenario(
+            name="cut", events=(LinkDown(0.5, "A", "B"), LinkUp(1.0, "A", "B"))
+        )
+        text = scenario.describe()
+        assert "cut" in text and "link-down" in text and "link-up" in text

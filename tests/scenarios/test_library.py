@@ -1,0 +1,89 @@
+"""The canned scenario library and its registry."""
+
+import pytest
+
+from repro.scenarios import (
+    DCMaintenance,
+    LinkDown,
+    LinkUp,
+    TrafficSurge,
+    cascading_failure,
+    diurnal_surge,
+    get_scenario,
+    rolling_maintenance,
+    scenario_names,
+    single_link_cut,
+)
+
+
+class TestRegistry:
+    def test_names_cover_all_builders(self):
+        assert scenario_names() == sorted(
+            ["single-link-cut", "cascading-failure", "diurnal-surge", "rolling-maintenance"]
+        )
+
+    def test_get_scenario_builds(self):
+        scenario = get_scenario("single-link-cut")
+        assert scenario.name == "single-link-cut"
+
+    def test_get_scenario_forwards_kwargs(self):
+        scenario = get_scenario("single-link-cut", fail_at_s=0.1, recover_at_s=0.2)
+        times = [e.time_s for e in scenario.sorted_events()]
+        assert times == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="single-link-cut"):
+            get_scenario("does-not-exist")
+
+
+class TestBuilders:
+    def test_single_link_cut_shape(self, testbed_topology):
+        scenario = single_link_cut()
+        scenario.validate(testbed_topology)
+        down, up = scenario.sorted_events()
+        assert isinstance(down, LinkDown) and isinstance(up, LinkUp)
+        assert down.time_s < up.time_s
+
+    def test_single_link_cut_rejects_inverted_times(self):
+        with pytest.raises(ValueError, match="recover_at_s"):
+            single_link_cut(fail_at_s=1.0, recover_at_s=0.5)
+
+    def test_cascading_failure_staggers_cuts(self, testbed_topology):
+        scenario = cascading_failure()
+        scenario.validate(testbed_topology)
+        downs = [e for e in scenario.sorted_events() if isinstance(e, LinkDown)]
+        ups = [e for e in scenario.sorted_events() if isinstance(e, LinkUp)]
+        assert len(downs) == 3 and len(ups) == 3
+        cut_times = [e.time_s for e in downs]
+        assert cut_times == sorted(cut_times) and len(set(cut_times)) == 3
+        assert len({e.time_s for e in ups}) == 1  # repaired at once
+        assert scenario.stranded_timeout_s is not None
+
+    def test_cascading_failure_needs_links(self):
+        with pytest.raises(ValueError, match="at least one link"):
+            cascading_failure(links=())
+
+    def test_diurnal_surge_periodic_peaks(self, testbed_topology):
+        scenario = diurnal_surge(peaks=3, period_s=1.0, first_peak_s=0.5)
+        scenario.validate(testbed_topology)
+        events = scenario.sorted_events()
+        assert all(isinstance(e, TrafficSurge) for e in events)
+        assert [e.time_s for e in events] == [
+            pytest.approx(0.5),
+            pytest.approx(1.5),
+            pytest.approx(2.5),
+        ]
+
+    def test_rolling_maintenance_windows_do_not_overlap(self, testbed_topology):
+        scenario = rolling_maintenance(
+            dcs=("DC2", "DC4"), first_at_s=0.5, window_s=0.4, gap_s=0.2
+        )
+        scenario.validate(testbed_topology)
+        events = scenario.sorted_events()
+        assert all(isinstance(e, DCMaintenance) for e in events)
+        for earlier, later in zip(events, events[1:]):
+            assert later.time_s >= earlier.end_s
+
+    def test_rolling_maintenance_needs_dcs(self):
+        with pytest.raises(ValueError, match="at least one DC"):
+            rolling_maintenance(dcs=())

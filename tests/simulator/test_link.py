@@ -113,3 +113,60 @@ def test_property_queue_invariants(offered, dt):
         assert 0.0 <= link.queue_bytes <= link.buffer_bytes
         assert link.carried_bytes <= link.cap_bps * elapsed / 8 + 1e-6
         assert 0.0 <= link.ecn_mark_probability() <= 1.0
+
+
+class TestCapacityFactor:
+    def test_effective_capacity_scales(self):
+        link = make_link(cap_bps=1e9)
+        link.set_capacity_factor(0.25)
+        assert link.cap_bps == pytest.approx(0.25e9)
+        link.set_capacity_factor(1.0)
+        assert link.cap_bps == pytest.approx(1e9)
+
+    def test_non_positive_factor_rejected(self):
+        link = make_link()
+        with pytest.raises(ValueError, match="capacity factor"):
+            link.set_capacity_factor(0.0)
+
+    def test_utilization_integrates_capacity_over_time(self):
+        """A mid-run degradation must not retroactively re-rate the whole
+        run: 1 s at full rate + 1 s at half rate = 1.5 cap-seconds."""
+        link = make_link(cap_bps=1e9)
+        # fully utilise the first second at the provisioned rate
+        link.integrate(offered_bps=1e9, dt=1.0)
+        link.set_capacity_factor(0.5, now=1.0)
+        # fully utilise the second second at the degraded rate
+        link.integrate(offered_bps=0.5e9, dt=1.0)
+        assert link.utilization(2.0) == pytest.approx(1.0, rel=1e-6)
+
+    def test_utilization_without_factor_changes_unchanged(self):
+        link = make_link(cap_bps=1e9)
+        link.integrate(offered_bps=0.5e9, dt=1.0)
+        assert link.utilization(1.0) == pytest.approx(0.5)
+
+
+class TestDownCauseCounting:
+    def test_overlapping_causes_compose(self):
+        link = make_link()
+        link.fail()
+        link.fail()
+        link.recover()
+        assert not link.up
+        link.recover()
+        assert link.up
+
+    def test_recover_on_up_link_is_a_noop(self):
+        link = make_link()
+        link.recover()
+        assert link.up
+        link.fail()
+        assert not link.up
+        link.recover()
+        assert link.up
+
+    def test_direct_up_assignment_overrides_bookkeeping(self):
+        link = make_link()
+        link.fail()
+        link.fail()
+        link.up = True
+        assert link.up

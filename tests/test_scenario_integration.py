@@ -1,0 +1,146 @@
+"""End-to-end scenario acceptance: the single-link-cut on testbed8.
+
+This is the PR's acceptance criterion: running the canned
+``single-link-cut`` library scenario on the 8-DC testbed under LCMP must
+
+(a) drive nonzero *lazy* flow-cache invalidations on the failed port —
+    i.e. the scenario engine exercises the paper's data-plane fast-failover
+    (§3.4) through the real router pipeline, not hand-simulated state,
+(b) leave every disrupted flow either completed or explicitly recorded as
+    failed (no silent blackholing), and
+(c) show FCT slowdown recovering after the recovery event.
+"""
+
+import pytest
+
+from repro.analysis import event_impacts, slowdown_timeline
+from repro.congestion_control import make_cc_factory
+from repro.core import lcmp_router_factory
+from repro.experiments import ExperimentRunner, ExperimentSpec
+from repro.scenarios import single_link_cut
+from repro.simulator import FluidSimulation, RuntimeNetwork, SimulationConfig
+from repro.topology import build_testbed8
+from repro.topology import testbed8_pathset as make_testbed8_pathset
+from repro.workloads import TrafficConfig, TrafficGenerator
+
+NUM_FLOWS = 360
+
+
+@pytest.fixture(scope="module")
+def cut_run():
+    """One single-link-cut run on testbed8 under LCMP, shared by the asserts."""
+    topology = build_testbed8(capacity_scale=0.1)
+    paths = make_testbed8_pathset(topology)
+    config = SimulationConfig(seed=11)
+    network = RuntimeNetwork(
+        topology, paths, lcmp_router_factory(topology, paths), config
+    )
+    traffic = TrafficConfig(
+        workload="websearch", load=0.3, num_flows=NUM_FLOWS,
+        pairs=[("DC1", "DC8")], seed=11,
+    )
+    demands = TrafficGenerator(topology, paths, traffic).generate()
+    fail_at = demands[NUM_FLOWS // 3].arrival_s
+    recover_at = demands[2 * NUM_FLOWS // 3].arrival_s
+    scenario = single_link_cut(
+        fail_at_s=fail_at, recover_at_s=recover_at, src="DC1", dst="DC7"
+    )
+    sim = FluidSimulation(
+        network, demands, make_cc_factory("dcqcn"), config, scenario=scenario
+    )
+    result = sim.run()
+    return {
+        "network": network,
+        "demands": demands,
+        "result": result,
+        "fail_at": fail_at,
+        "recover_at": recover_at,
+    }
+
+
+class TestSingleLinkCutAcceptance:
+    def test_lazy_invalidations_on_failed_port(self, cut_run):
+        """(a) the cut must invalidate cached entries lazily, per flow."""
+        router = cut_run["network"].switch("DC1").router
+        assert router.liveness.lazy_invalidations > 0
+        assert router.failover_rehashes > 0
+        # every lazy invalidation corresponds to a fast-failover re-hash
+        assert router.failover_rehashes == router.liveness.lazy_invalidations
+
+    def test_in_flight_flows_disrupted_and_recovered(self, cut_run):
+        metrics = cut_run["result"].scenario_metrics
+        assert metrics.total_disrupted > 0
+        assert (
+            metrics.total_rerouted + metrics.total_restored + metrics.total_failed
+            == metrics.total_disrupted
+        )
+
+    def test_all_flows_complete_or_recorded_failed(self, cut_run):
+        """(b) no silent blackholing: every demand is accounted for."""
+        result = cut_run["result"]
+        assert result.unfinished_flows == 0
+        completed = {r.flow_id for r in result.records}
+        failed = {f.flow_id for f in result.failed_flows}
+        assert completed | failed == {d.flow_id for d in cut_run["demands"]}
+        assert not completed & failed
+
+    def test_no_new_flow_placed_on_dead_port(self, cut_run):
+        decisions = cut_run["network"].switch("DC1").decisions
+        during = [
+            d for d in decisions
+            if cut_run["fail_at"] <= d.time_s < cut_run["recover_at"]
+        ]
+        assert during, "flows must keep arriving during the outage"
+        assert all(d.chosen.first_hop != "DC7" for d in during)
+
+    def test_slowdown_recovers_after_repair(self, cut_run):
+        """(c) FCT slowdown degrades at the cut and recovers after repair."""
+        result = cut_run["result"]
+        window = (cut_run["recover_at"] - cut_run["fail_at"]) / 2
+        impacts = {i.kind: i for i in event_impacts(result, window_s=window)}
+        cut, repair = impacts["link-down"], impacts["link-up"]
+        assert cut.slowdown_delta is not None and cut.slowdown_delta > 0
+        assert repair.slowdown_delta is not None and repair.slowdown_delta < 0
+        # after repair the median slowdown returns below the outage level
+        assert repair.post_p50 < cut.post_p50
+
+    def test_slowdown_timeline_is_plottable(self, cut_run):
+        points = slowdown_timeline(cut_run["result"], bucket_s=0.02)
+        assert len(points) >= 3
+        times = [t for t, _ in points]
+        assert times == sorted(times)
+        assert all(p50 >= 1.0 for _, p50 in points)
+
+
+class TestScenarioThroughExperimentSpec:
+    def test_spec_accepts_scenario_by_name(self):
+        spec = ExperimentSpec(name="scenario-run", scenario="single-link-cut")
+        spec.validate()
+        scenario = spec.resolve_scenario()
+        assert scenario.name == "single-link-cut"
+
+    def test_spec_rejects_unknown_scenario_name(self):
+        spec = ExperimentSpec(name="bad", scenario="no-such-scenario")
+        with pytest.raises(ValueError, match="unknown scenario"):
+            spec.validate()
+
+    def test_runner_runs_under_scenario(self):
+        spec = ExperimentSpec(
+            name="faulted",
+            router="lcmp",
+            num_flows=120,
+            scenario=single_link_cut(fail_at_s=0.02, recover_at_s=0.05),
+            seed=3,
+        )
+        run = ExperimentRunner().run(spec)
+        metrics = run.result.scenario_metrics
+        assert metrics is not None
+        assert [o.kind for o in metrics.outcomes] == ["link-down", "link-up"]
+        assert run.result.unfinished_flows == 0
+        assert len(run.result.records) + len(run.result.failed_flows) == 120
+
+    def test_runner_static_run_unchanged(self):
+        spec = ExperimentSpec(name="static", router="ecmp", num_flows=60, seed=3)
+        run = ExperimentRunner().run(spec)
+        assert run.result.scenario_metrics is None
+        assert run.result.failed_flows == []
