@@ -10,19 +10,29 @@ topologies (:mod:`repro.topology`), RDMA congestion-control models
 analysis tools (:mod:`repro.analysis`) and the per-figure experiment harness
 (:mod:`repro.experiments`).
 
-Quickstart::
+Quickstart (see README.md for install, examples and the benchmark
+suite)::
 
     from repro.experiments import ExperimentRunner, ExperimentSpec
 
     runner = ExperimentRunner()
     run = runner.run(ExperimentSpec(name="demo", router="lcmp", num_flows=500))
     print(run.profile.overall_p50, run.profile.overall_p99)
+
+The two public entry points beyond single runs:
+
+* :mod:`repro.experiments.runner` — parallel, deterministic sweeps
+  (``runner.run_many(specs)``, ``runner.run_router_comparison(...)``);
+* :mod:`repro.scenarios.library` — the canned dynamic-scenario registry
+  (``ExperimentSpec(scenario="single-link-cut")``), surfaced here as
+  :func:`get_scenario` / :func:`scenario_names`.
 """
 
 from . import analysis, congestion_control, core, experiments, routing, scenarios, simulator, topology, workloads
 from .core import LCMPConfig, LCMPRouter
 from .experiments import ExperimentRunner, ExperimentSpec
 from .scenarios import Scenario
+from .scenarios.library import get_scenario, scenario_names
 
 __version__ = "1.0.0"
 
@@ -41,5 +51,7 @@ __all__ = [
     "ExperimentRunner",
     "ExperimentSpec",
     "Scenario",
+    "get_scenario",
+    "scenario_names",
     "__version__",
 ]

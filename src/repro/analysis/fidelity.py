@@ -11,7 +11,7 @@ recorded FCTs) — and correlating the binned slowdowns.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

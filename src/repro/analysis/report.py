@@ -7,7 +7,7 @@ EXPERIMENTS.md records stay readable without a plotting stack.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Sequence
 
 from .fct_analysis import SlowdownProfile
 from .utilization import LinkUtilization

@@ -7,12 +7,23 @@ rate-based model of the corresponding algorithm: it exposes a sending rate,
 reacts to the delayed :class:`~repro.simulator.flow.FeedbackSignal` the fluid
 simulation delivers one path-RTT after congestion occurred, and performs its
 periodic rate-recovery behaviour in :meth:`CongestionControl.on_interval`.
+
+Feedback plumbing with the vectorized simulator core: the fluid simulation
+builds every step's :class:`~repro.simulator.flow.FeedbackSignal` from the
+flow×link incidence arrays (:mod:`repro.simulator.incidence`) and still
+delivers them per flow — controllers are stateful per-flow objects — but
+advances all controllers of one class through
+:meth:`CongestionControl.advance_batch`.  Controllers are mutually
+independent, so the base implementation just loops :meth:`on_interval`;
+algorithms whose periodic behaviour runs many sub-interval timer iterations
+per step (DCQCN) override it with an array implementation that performs the
+exact same per-flow float operations.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, Optional, Type
+from typing import Callable, Dict, Sequence, Type
 
 from ..simulator.flow import FeedbackSignal
 
@@ -56,6 +67,47 @@ class CongestionControl(abc.ABC):
     @abc.abstractmethod
     def on_interval(self, dt: float, now: float) -> None:
         """Periodic behaviour (rate recovery / increase), every update step."""
+
+    @classmethod
+    def advance_batch(
+        cls, controllers: Sequence["CongestionControl"], dt: float, now: float
+    ) -> None:
+        """Advance many controllers of this class by one update step.
+
+        Controllers never share state, so this is semantically identical
+        to calling :meth:`on_interval` on each; subclasses may override it
+        with an array implementation, which must keep the per-controller
+        arithmetic bit-for-bit identical (the vectorized simulator core
+        relies on that — see DESIGN.md, "Vectorized core").
+        """
+        for cc in controllers:
+            cc.on_interval(dt, now)
+
+    @classmethod
+    def feedback_batch(
+        cls,
+        controllers: Sequence["CongestionControl"],
+        generated_s: float,
+        ecn,
+        util,
+        rtt,
+        qd,
+        now: float,
+    ) -> None:
+        """Deliver one feedback signal to each of many controllers.
+
+        The signal fields arrive as parallel sequences (element ``i`` goes
+        to ``controllers[i]``) because the vectorized simulator core keeps
+        in-flight feedback as arrays; the base implementation materialises
+        one :class:`FeedbackSignal` per controller and loops
+        :meth:`on_feedback`.  Same contract as :meth:`advance_batch`:
+        overrides must keep the per-controller arithmetic bit-for-bit
+        identical to :meth:`on_feedback`.
+        """
+        for i, cc in enumerate(controllers):
+            cc.on_feedback(
+                FeedbackSignal(generated_s, ecn[i], util[i], rtt[i], qd[i]), now
+            )
 
     # ------------------------------------------------------------------ #
     def _clamp(self) -> None:

@@ -13,7 +13,7 @@ overhead.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Set
+from typing import Set
 
 __all__ = ["PortLivenessTracker"]
 

@@ -21,7 +21,7 @@ When no tables are available at all the router falls back to plain ECMP
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..routing.base import Router, flow_hash, register_router
 from ..simulator.flow import FlowDemand

@@ -18,7 +18,7 @@ comparisons:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from .config import LCMPConfig
 

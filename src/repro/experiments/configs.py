@@ -11,8 +11,8 @@ rates) so that a few thousand Python-simulated flows sustain the paper's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
 
 from ..core.config import LCMPConfig
 
@@ -70,6 +70,9 @@ class ExperimentSpec:
         update_interval_s / monitor_interval_s: simulator cadences.
         fidelity_noise: measurement-noise sigma (testbed profile of Fig. 6).
         trace_links: record per-link time series (needed by Fig. 1b).
+        vectorized: run the simulator's numpy update core (default) or the
+            pure-Python scalar reference path — both produce bit-identical
+            results (see DESIGN.md, "Vectorized core").
     """
 
     name: str
@@ -88,6 +91,7 @@ class ExperimentSpec:
     monitor_interval_s: float = 1e-3
     fidelity_noise: float = 0.0
     trace_links: bool = False
+    vectorized: bool = True
 
     def with_overrides(self, **kwargs) -> "ExperimentSpec":
         """Return a copy with the given fields replaced."""

@@ -38,7 +38,6 @@ from ..core.resource_model import per_new_flow_ops
 from .configs import (
     ALL_ROUTERS,
     CASE_STUDY_PAIRS,
-    CC_NAMES,
     LOADS,
     TESTBED_ENDPOINT_PAIRS,
     WORKLOAD_NAMES,

@@ -5,11 +5,42 @@ the routing algorithm and congestion control by name, generates the traffic
 matrix, runs the fluid simulation and wraps the outcome in an
 :class:`ExperimentRun` carrying both the raw simulation result and the binned
 slowdown profile the figures plot.
+
+Run one experiment::
+
+    from repro.experiments import ExperimentRunner, ExperimentSpec
+
+    runner = ExperimentRunner()
+    run = runner.run(ExperimentSpec(name="demo", router="lcmp", num_flows=500))
+    print(run.profile.overall_p50, run.profile.overall_p99)
+
+Sweep many specs — they fan out over a process pool, one worker per core,
+and return in spec order with results identical to a serial sweep (every
+stochastic component is seeded from the spec)::
+
+    specs = [
+        ExperimentSpec(name=f"load-{load:g}", load=load, num_flows=500)
+        for load in (0.3, 0.5, 0.8)
+    ]
+    runs = runner.run_many(specs)                  # parallel by default
+    runs = runner.run_many(specs, parallel=False)  # force serial
+
+Compare routing algorithms on one scenario (same traffic matrix, also
+parallelised)::
+
+    by_router = runner.run_router_comparison(
+        ExperimentSpec(name="base", num_flows=500), ["lcmp", "ecmp", "ucmp"]
+    )
+    print(by_router["lcmp"].profile.overall_p99)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.fct_analysis import SlowdownProfile
@@ -23,6 +54,18 @@ from ..workloads import TrafficConfig, TrafficGenerator
 from .configs import ExperimentSpec
 
 __all__ = ["ExperimentRun", "ExperimentRunner"]
+
+#: per-worker-process runner, so a worker that runs several specs of one
+#: sweep reuses its topology/path-set cache (see _run_spec_in_worker)
+_WORKER_RUNNER: Optional["ExperimentRunner"] = None
+
+
+def _run_spec_in_worker(spec: "ExperimentSpec") -> "ExperimentRun":
+    """Process-pool entry point: run one spec on this worker's runner."""
+    global _WORKER_RUNNER
+    if _WORKER_RUNNER is None:
+        _WORKER_RUNNER = ExperimentRunner()
+    return _WORKER_RUNNER.run(spec)
 
 
 @dataclass
@@ -86,6 +129,7 @@ class ExperimentRunner:
             monitor_interval_s=spec.monitor_interval_s,
             fidelity_noise=spec.fidelity_noise,
             seed=spec.seed,
+            vectorized=spec.vectorized,
         )
 
     def demands_for(self, spec: ExperimentSpec, topology: Topology, pathset: PathSet):
@@ -123,27 +167,75 @@ class ExperimentRunner:
         profile = SlowdownProfile.from_records(spec.name, result.records)
         return ExperimentRun(spec=spec, result=result, profile=profile)
 
-    def run_many(self, specs: Sequence[ExperimentSpec]) -> List[ExperimentRun]:
-        """Run several specs sequentially."""
-        return [self.run(spec) for spec in specs]
+    def run_many(
+        self,
+        specs: Sequence[ExperimentSpec],
+        parallel: Optional[bool] = None,
+        max_workers: Optional[int] = None,
+    ) -> List[ExperimentRun]:
+        """Run several specs, fanning out over a process pool.
+
+        Results come back in spec order and are identical to a serial
+        sweep: every stochastic component (traffic matrix, fidelity noise,
+        surge generation) derives its RNG stream from the spec's own seed,
+        so placement on workers cannot perturb anything
+        (``tests/experiments/test_parallel_runner.py`` asserts this).
+
+        Args:
+            specs: the experiments to run.
+            parallel: force parallel (True) or serial (False) execution;
+                ``None`` picks parallel when there are at least two specs
+                and more than one worker is available.  Specs that cannot
+                be pickled (e.g. a scenario carrying a lambda) fall back
+                to a serial sweep.
+            max_workers: process-pool size; defaults to
+                ``min(len(specs), cpu_count)``.
+
+        Returns:
+            One :class:`ExperimentRun` per spec, in order.
+        """
+        specs = list(specs)
+        workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        workers = max(1, min(workers, len(specs)))
+        if parallel is None:
+            parallel = len(specs) > 1 and workers > 1
+        if parallel and workers > 1:
+            try:
+                pickle.dumps(specs)
+            except Exception:
+                parallel = False
+        if not parallel or workers <= 1:
+            return [self.run(spec) for spec in specs]
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_run_spec_in_worker, specs))
+        except (OSError, BrokenProcessPool):
+            # no usable process pool in this environment (restricted
+            # sandbox, missing semaphores, killed workers): degrade to the
+            # serial sweep; errors raised *by a spec* propagate unchanged
+            return [self.run(spec) for spec in specs]
 
     def run_router_comparison(
         self,
         base_spec: ExperimentSpec,
         routers: Sequence[str],
         lcmp_config: Optional[LCMPConfig] = None,
+        parallel: Optional[bool] = None,
     ) -> Dict[str, ExperimentRun]:
         """Run the same scenario under several routing algorithms.
 
         Every run shares the traffic matrix (same workload seed) so the only
         varying factor is the routing decision, exactly as in the paper.
+        The per-router runs are independent, so they fan out through
+        :meth:`run_many`.
         """
-        runs: Dict[str, ExperimentRun] = {}
-        for router in routers:
-            spec = base_spec.with_overrides(
+        specs = [
+            base_spec.with_overrides(
                 name=router,
                 router=router,
                 lcmp_config=lcmp_config if router == "lcmp" else None,
             )
-            runs[router] = self.run(spec)
-        return runs
+            for router in routers
+        ]
+        runs = self.run_many(specs, parallel=parallel)
+        return {router: run for router, run in zip(routers, runs)}

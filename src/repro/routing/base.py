@@ -12,7 +12,7 @@ the switch's own port telemetry).
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, List, Optional, Sequence, Type
+from typing import Callable, Dict, List, Sequence, Type
 
 from ..simulator.flow import FlowDemand
 from ..simulator.switch import PortSample

@@ -26,7 +26,7 @@ Event semantics:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import ClassVar, Optional, Tuple
 
 __all__ = [

@@ -16,6 +16,32 @@ Builders:
   (the inter-DC diurnal pattern).
 * :func:`rolling_maintenance` — DCs are drained one after another, each for
   a fixed window (a software-rollout wave).
+
+Name a canned scenario from an experiment spec (the common way)::
+
+    from repro.experiments import ExperimentRunner, ExperimentSpec
+
+    run = ExperimentRunner().run(
+        ExperimentSpec(name="cut", scenario="single-link-cut", num_flows=500)
+    )
+    print(run.result.scenario_metrics.total_rerouted)
+
+Or build one with custom parameters — every builder is a plain function
+(these are also re-exported as ``repro.get_scenario`` /
+``repro.scenario_names``)::
+
+    from repro.scenarios.library import cascading_failure, get_scenario
+
+    scenario = cascading_failure(
+        links=[("DC1", "DC7"), ("DC1", "DC5")],
+        first_at_s=0.25,
+        interval_s=0.5,
+        stranded_timeout_s=1.0,
+    )
+    same = get_scenario("single-link-cut", fail_at_s=0.25, recover_at_s=0.75)
+    run = ExperimentRunner().run(
+        ExperimentSpec(name="cascade", scenario=scenario, num_flows=500)
+    )
 """
 
 from __future__ import annotations

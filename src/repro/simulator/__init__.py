@@ -14,6 +14,7 @@ from .engine import Event, EventQueue, SimulationEngine, SimulationError
 from .fct import FCTCollector, FlowRecord, IdealFctModel
 from .flow import FeedbackSignal, Flow, FlowDemand
 from .fluid import FlowFailure, FluidSimulation, LinkStats, SimulationResult
+from .incidence import FlowLinkIncidence
 from .link import RuntimeLink
 from .monitor import LinkTrace, LinkTraceSample, QueueMonitor
 from .network import RoutingLoopError, RuntimeNetwork
@@ -36,6 +37,7 @@ __all__ = [
     "LinkStats",
     "SimulationResult",
     "RuntimeLink",
+    "FlowLinkIncidence",
     "LinkTrace",
     "LinkTraceSample",
     "QueueMonitor",

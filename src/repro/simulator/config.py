@@ -7,8 +7,7 @@ their setup declaratively and reproducibly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 __all__ = ["SimulationConfig"]
 
@@ -39,6 +38,11 @@ class SimulationConfig:
             Mininet emulation is noisier than NS-3).
         seed: base RNG seed; every stochastic component derives its stream
             from this value, making runs reproducible.
+        vectorized: run the numpy flow×link update core (default) instead
+            of the pure-Python scalar loop.  Both paths produce bit-for-bit
+            identical results (see DESIGN.md, "Vectorized core"); the
+            scalar path is kept as the executable specification and for the
+            equivalence tests.
     """
 
     update_interval_s: float = 1e-3
@@ -52,6 +56,7 @@ class SimulationConfig:
     drain_timeout_s: float = 60.0
     fidelity_noise: float = 0.0
     seed: int = 1
+    vectorized: bool = True
 
     def with_overrides(self, **kwargs) -> "SimulationConfig":
         """Return a copy with the given fields replaced."""

@@ -11,7 +11,7 @@ topology (so it is identical across routing algorithms) and records one
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..topology.graph import Topology
 from ..topology.paths import PathSet, shortest_delay_path

@@ -9,8 +9,9 @@ flow's congestion-control instance after the path round-trip delay.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Sequence, Tuple
 
 from .link import RuntimeLink
 
@@ -97,8 +98,19 @@ class Flow:
         self.achieved_bps: float = 0.0
         #: when the flow's path lost a link (None while the path is healthy)
         self.disrupted_s: Optional[float] = None
-        #: congestion feedback in flight towards the sender
-        self._pending_feedback: List[Tuple[float, FeedbackSignal]] = []
+        #: congestion feedback in flight towards the sender, normally in
+        #: non-decreasing deliver-time order (append-only); a re-route that
+        #: shortens the path RTT may break the order, tracked by the flag
+        self._pending_feedback: Deque[Tuple[float, FeedbackSignal]] = deque()
+        self._feedback_unsorted = False
+        #: False once the flow left the active set (finished or failed);
+        #: the vectorized feedback delay line checks it so signals headed
+        #: to a gone flow are dropped, exactly like the scalar path
+        #: abandoning the flow's pending deque
+        self._feedback_live = True
+        #: stamp of the last update tick that delivered feedback to this
+        #: flow (vectorized core: detects several signals due at once)
+        self._feedback_tick = -1
 
     # ------------------------------------------------------------------ #
     @property
@@ -147,20 +159,45 @@ class Flow:
 
     def enqueue_feedback(self, signal: FeedbackSignal, deliver_s: float) -> None:
         """Put a congestion signal in flight; delivered at ``deliver_s``."""
-        self._pending_feedback.append((deliver_s, signal))
+        pending = self._pending_feedback
+        if pending and deliver_s < pending[-1][0]:
+            self._feedback_unsorted = True
+        pending.append((deliver_s, signal))
 
     def deliver_due_feedback(self, now: float) -> int:
         """Deliver all feedback whose time has come to the CC instance.
 
+        Signals are delivered in deliver-time order (ties in enqueue
+        order).  Pending signals are almost always already sorted — one is
+        enqueued per update step with a fixed RTT offset — so the common
+        case pops a due prefix off the deque in O(delivered); only a
+        re-route that shortened the RTT forces the full scan.
+
         Returns:
             Number of signals delivered.
         """
-        if not self._pending_feedback:
+        pending = self._pending_feedback
+        if not pending:
             return 0
+        if self._feedback_unsorted:
+            return self._deliver_unsorted(now)
+        delivered = 0
+        while pending and pending[0][0] <= now:
+            _, signal = pending.popleft()
+            self.cc.on_feedback(signal, now)
+            delivered += 1
+        return delivered
+
+    def _deliver_unsorted(self, now: float) -> int:
+        """Out-of-order slow path (after an RTT-shortening re-route)."""
         due = [item for item in self._pending_feedback if item[0] <= now]
         if not due:
             return 0
-        self._pending_feedback = [item for item in self._pending_feedback if item[0] > now]
+        rest = [item for item in self._pending_feedback if item[0] > now]
+        self._pending_feedback = deque(rest)
+        self._feedback_unsorted = any(
+            rest[i][0] > rest[i + 1][0] for i in range(len(rest) - 1)
+        )
         for _, signal in sorted(due, key=lambda item: item[0]):
             self.cc.on_feedback(signal, now)
         return len(due)

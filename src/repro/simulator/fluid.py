@@ -16,6 +16,14 @@ Flows are modelled as fluid: every ``update_interval`` the simulation
 Routing decisions happen exactly once per flow, at arrival time, by walking
 DCI switches hop by hop (see :class:`~repro.simulator.network.RuntimeNetwork`).
 
+Two implementations of the update step exist and are bit-for-bit
+equivalent: a vectorized core (default) that runs steps 1–3 as numpy array
+operations over a CSR-style flow×link incidence structure
+(:mod:`repro.simulator.incidence`), and the original pure-Python scalar
+loop, kept as the executable specification and selected with
+``SimulationConfig(vectorized=False)``.  The equivalence is guarded by
+``tests/simulator/test_vectorized_equivalence.py``.
+
 A run may additionally carry a :class:`~repro.scenarios.events.Scenario`:
 its injector schedules fault/traffic events on the same engine heap and
 calls :meth:`FluidSimulation.revalidate_flows` after each topology mutation,
@@ -25,6 +33,7 @@ fast-failover path mid-run.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -34,11 +43,48 @@ from .config import SimulationConfig
 from .engine import SimulationEngine
 from .fct import FCTCollector, FlowRecord, IdealFctModel
 from .flow import FeedbackSignal, Flow, FlowDemand
+from .incidence import FlowLinkIncidence
 from .link import RuntimeLink
 from .monitor import LinkTrace, QueueMonitor
 from .network import RuntimeNetwork
 
 __all__ = ["LinkStats", "FlowFailure", "SimulationResult", "FluidSimulation"]
+
+
+class _FeedbackGeneration:
+    """One update step's worth of in-flight congestion feedback (arrays).
+
+    The vectorized core never materialises per-flow
+    :class:`~repro.simulator.flow.FeedbackSignal` objects for the common
+    path; each step appends one generation holding the step's signal
+    arrays, and lanes are delivered (batched, per congestion-control
+    class) once their ``deliver_s`` passes.  ``next_due_s`` caches the
+    earliest undelivered lane so idle generations cost one comparison per
+    step.
+    """
+
+    __slots__ = (
+        "flows",
+        "generated_s",
+        "deliver_s",
+        "ecn",
+        "util",
+        "rtt",
+        "qd",
+        "undelivered",
+        "next_due_s",
+    )
+
+    def __init__(self, flows, generated_s, deliver_s, ecn, util, rtt, qd):
+        self.flows = flows
+        self.generated_s = generated_s
+        self.deliver_s = deliver_s
+        self.ecn = ecn
+        self.util = util
+        self.rtt = rtt
+        self.qd = qd
+        self.undelivered = np.ones(len(flows), dtype=bool)
+        self.next_due_s = float(deliver_s.min())
 
 
 @dataclass(frozen=True)
@@ -154,6 +200,15 @@ class FluidSimulation:
         self.monitor = QueueMonitor(network, trace=self._trace)
 
         self._active: List[Flow] = []
+        #: flow×link incidence arrays (None = scalar update path)
+        self._incidence: Optional[FlowLinkIncidence] = (
+            FlowLinkIncidence() if self.config.vectorized else None
+        )
+        #: conservative flag: may any active flow still be disrupted?
+        self._maybe_disrupted = False
+        #: in-flight congestion feedback, one generation per update step
+        self._feedback_line: "deque[_FeedbackGeneration]" = deque()
+        self._update_tick = 0
         self._pending_arrivals = len(self.demands)
         self._stopped = False
         #: flow id -> (arrival Event, demand) for not-yet-arrived flows
@@ -238,11 +293,25 @@ class FluidSimulation:
         its path recovers, or — when the scenario sets a stranded timeout —
         is explicitly failed and recorded.
         """
+        broken_mask = None
+        if self._incidence is not None and self._active:
+            # vectorized fast path: one reduceat over cached liveness
+            # instead of an O(flows x path) Python sweep per call
+            self._incidence.refresh(self._active)
+            broken_arr = self._incidence.broken_flows()
+            if not broken_arr.any() and not self._maybe_disrupted:
+                return
+            broken_mask = broken_arr.tolist()
+
         stranded_timeout = None
         if self.injector is not None:
             stranded_timeout = self.injector.scenario.stranded_timeout_s
-        for flow in list(self._active):
-            broken = any(not link.up for link in flow.path)
+        still_disrupted = False
+        for i, flow in enumerate(list(self._active)):
+            if broken_mask is not None:
+                broken = broken_mask[i]
+            else:
+                broken = any(not link.up for link in flow.path)
             if not broken:
                 if flow.disrupted_s is not None:
                     # the original path healed in place (link recovery)
@@ -263,6 +332,9 @@ class FluidSimulation:
                 and now - flow.disrupted_s >= stranded_timeout
             ):
                 self._fail_flow(flow, now)
+            else:
+                still_disrupted = True
+        self._maybe_disrupted = still_disrupted
 
     # ------------------------------------------------------------------ #
     # event handlers
@@ -282,6 +354,8 @@ class FluidSimulation:
             cc = self.cc_factory(line_rate, base_rtt)
             flow = Flow(demand, path, cc, base_rtt)
             self._active.append(flow)
+            if self._incidence is not None:
+                self._incidence.add_flow(flow)
 
         return arrive
 
@@ -292,12 +366,131 @@ class FluidSimulation:
         self.network.tick_all(self.engine.now)
 
     def _update_step(self) -> None:
+        if self._incidence is not None:
+            self._update_step_vectorized()
+        else:
+            self._update_step_scalar()
+
+    def _maybe_stop(self) -> None:
+        if not self._active and self._pending_arrivals == 0 and not self._stopped:
+            self._stopped = True
+            self.engine.stop()
+
+    def _finish_flows(self, finished: List[Flow]) -> None:
+        for flow in finished:
+            flow._feedback_live = False
+            self._active.remove(flow)
+            if self._incidence is not None:
+                self._incidence.remove_flow(flow)
+            self.collector.record(flow)
+
+    def _deliver_feedback_line(self, now: float) -> None:
+        """Deliver every due lane of the feedback delay line (vectorized).
+
+        Lanes are scanned generation by generation (enqueue order) and
+        handed to the congestion-control class's batched delivery.  A flow
+        normally receives at most one signal per step — one is enqueued
+        per step with a fixed RTT offset — and the rare exception (an
+        RTT-shortening re-route makes several due at once) falls back to
+        sequential per-flow delivery sorted by deliver time, which is
+        exactly the scalar path's order.
+        """
+        tick = self._update_tick
+        line = self._feedback_line
+        batches: List[Tuple[_FeedbackGeneration, list, list]] = []
+        repeated = False
+        for gen in line:
+            if gen.next_due_s > now:
+                continue
+            due = gen.undelivered & (gen.deliver_s <= now)
+            lanes = np.flatnonzero(due)
+            if lanes.size:
+                gen.undelivered[lanes] = False
+                flows = gen.flows
+                ccs: list = []
+                kept: list = []
+                for j in lanes.tolist():
+                    flow = flows[j]
+                    if not flow._feedback_live:
+                        continue
+                    if flow._feedback_tick == tick:
+                        repeated = True
+                    else:
+                        flow._feedback_tick = tick
+                    ccs.append(flow.cc)
+                    kept.append(j)
+                if ccs:
+                    batches.append((gen, ccs, kept))
+            remaining_lanes = gen.undelivered
+            if remaining_lanes.any():
+                gen.next_due_s = float(gen.deliver_s[remaining_lanes].min())
+            else:
+                gen.next_due_s = float("inf")
+        while line and not line[0].undelivered.any():
+            line.popleft()
+
+        if not batches:
+            return
+        if repeated:
+            self._deliver_repeated(batches, now)
+            return
+        for gen, ccs, kept in batches:
+            cc_cls = type(ccs[0])
+            kidx = np.array(kept, dtype=np.intp)
+            if all(type(cc) is cc_cls for cc in ccs):
+                cc_cls.feedback_batch(
+                    ccs,
+                    gen.generated_s,
+                    gen.ecn[kidx],
+                    gen.util[kidx],
+                    gen.rtt[kidx],
+                    gen.qd[kidx],
+                    now,
+                )
+            else:
+                ecn_l = gen.ecn[kidx].tolist()
+                util_l = gen.util[kidx].tolist()
+                rtt_l = gen.rtt[kidx].tolist()
+                qd_l = gen.qd[kidx].tolist()
+                for k, cc in enumerate(ccs):
+                    cc.on_feedback(
+                        FeedbackSignal(
+                            gen.generated_s, ecn_l[k], util_l[k], rtt_l[k], qd_l[k]
+                        ),
+                        now,
+                    )
+
+    def _deliver_repeated(self, batches, now: float) -> None:
+        """Slow path: some flow has several signals due in one step."""
+        by_flow: Dict[int, list] = {}
+        for gen, ccs, kept in batches:
+            deliver_l = gen.deliver_s[kept].tolist()
+            ecn_l = gen.ecn[kept].tolist()
+            util_l = gen.util[kept].tolist()
+            rtt_l = gen.rtt[kept].tolist()
+            qd_l = gen.qd[kept].tolist()
+            for k, j in enumerate(kept):
+                flow = gen.flows[j]
+                by_flow.setdefault(id(flow), []).append(
+                    (
+                        deliver_l[k],
+                        flow,
+                        FeedbackSignal(
+                            gen.generated_s, ecn_l[k], util_l[k], rtt_l[k], qd_l[k]
+                        ),
+                    )
+                )
+        for items in by_flow.values():
+            items.sort(key=lambda item: item[0])
+            for _, flow, signal in items:
+                flow.cc.on_feedback(signal, now)
+
+    def _update_step_scalar(self) -> None:
+        """The original pure-Python update step (the executable spec)."""
         now = self.engine.now
         dt = self.config.update_interval_s
         if not self._active:
-            if self._pending_arrivals == 0 and not self._stopped:
-                self._stopped = True
-                self.engine.stop()
+            self._maybe_stop()
             return
 
         # 0. lazy fast-failover sweep (see revalidate_flows)
@@ -342,13 +535,149 @@ class FluidSimulation:
                 flow.mark_finished(now + fraction * dt)
                 finished.append(flow)
 
-        for flow in finished:
-            self._active.remove(flow)
-            self.collector.record(flow)
+        self._finish_flows(finished)
+        self._maybe_stop()
 
-        if not self._active and self._pending_arrivals == 0 and not self._stopped:
-            self._stopped = True
-            self.engine.stop()
+    def _update_step_vectorized(self) -> None:
+        """Steps 1–3 as array operations over the flow×link incidence.
+
+        Mirrors :meth:`_update_step_scalar` operation for operation — the
+        accumulation / reduction orders match the scalar loops, so queue
+        state, feedback signals and FCTs come out bit-identical (guarded
+        by ``tests/simulator/test_vectorized_equivalence.py``).
+        """
+        now = self.engine.now
+        dt = self.config.update_interval_s
+        self._update_tick += 1
+        if not self._active:
+            self._maybe_stop()
+            return
+
+        # 0. lazy fast-failover sweep (may reroute / fail flows)
+        self.revalidate_flows(now)
+        active = self._active
+        if not active:
+            self._maybe_stop()
+            return
+
+        inc = self._incidence
+        inc.refresh(active)
+        num_flows = len(active)
+        idx, starts = inc.idx, inc.starts
+        cap, up = inc.cap_bps, inc.up
+
+        # 1. offered load per link: flow-major scatter-add, which keeps the
+        # per-link accumulation order identical to the scalar dict loop
+        rates = np.fromiter(
+            (flow.cc.rate_bps for flow in active), dtype=np.float64, count=num_flows
+        )
+        offered = np.zeros(inc.num_links)
+        np.add.at(offered, idx, np.repeat(rates, inc.lengths))
+
+        # 2. queue integration (active slots only — the scalar path only
+        # integrates links that appear on some active flow's path) and the
+        # per-link scaling factor
+        act = inc.active_slots
+        queue, peak, carried, dropped, _ = RuntimeLink.integrate_batch(
+            offered[act],
+            dt,
+            cap[act],
+            up[act],
+            inc.buffer_bytes[act],
+            inc.queue_bytes[act],
+            inc.peak_queue_bytes[act],
+            inc.carried_bytes[act],
+            inc.dropped_bytes[act],
+        )
+        inc.queue_bytes[act] = queue
+        inc.peak_queue_bytes[act] = peak
+        inc.carried_bytes[act] = carried
+        inc.dropped_bytes[act] = dropped
+        inc.offered_bps[act] = offered[act]
+
+        loaded = offered > 0
+        ratio = np.zeros(inc.num_links)
+        np.divide(cap, offered, out=ratio, where=loaded)
+        scale = np.where(
+            ~up, 0.0, np.where(loaded, np.minimum(1.0, ratio), 1.0)
+        )
+
+        # 3. per-flow achieved rate: min scale across the path
+        factor = np.minimum.reduceat(scale[idx], starts)
+        achieved = rates * factor
+        want = achieved * dt / 8.0
+        before = np.fromiter(
+            (flow.remaining_bytes for flow in active), dtype=np.float64, count=num_flows
+        )
+        remaining = before - np.minimum(want, before)
+
+        # 4. congestion feedback from the same arrays (post-integration
+        # queues, step-1 offered loads), exactly as _feedback_for computes
+        # per link
+        q = inc.queue_bytes
+        span = inc.ecn_kmax - inc.ecn_kmin
+        mark = np.zeros(inc.num_links)
+        np.divide(
+            inc.ecn_pmax * (q - inc.ecn_kmin), span, out=mark, where=span > 0
+        )
+        mark = np.where(q <= inc.ecn_kmin, 0.0, np.where(q >= inc.ecn_kmax, 1.0, mark))
+        ecn_fraction = 1.0 - np.multiply.reduceat((1.0 - mark)[idx], starts)
+
+        util = np.zeros(inc.num_links)
+        np.divide(offered, cap, out=util, where=cap > 0)
+        max_util = np.maximum.reduceat(util[idx], starts)
+
+        queue_delay = np.add.reduceat((q * 8.0 / cap)[idx], starts)
+        base_rtt = np.fromiter(
+            (flow.base_rtt_s for flow in active), dtype=np.float64, count=num_flows
+        )
+        rtt = base_rtt + queue_delay
+
+        # 5. this step's feedback goes into the array delay line, then
+        # everything due anywhere in the line is delivered; controllers
+        # are per-flow and mutually independent, so delivering all due
+        # feedback and then advancing all controllers preserves the
+        # scalar loop's per-flow (enqueue -> deliver -> interval) order
+        self._feedback_line.append(
+            _FeedbackGeneration(
+                list(active), now, now + base_rtt, ecn_fraction, max_util, rtt, queue_delay
+            )
+        )
+        achieved_l = achieved.tolist()
+        remaining_l = remaining.tolist()
+        for i, flow in enumerate(active):
+            flow.achieved_bps = achieved_l[i]
+            flow.remaining_bytes = remaining_l[i]
+        self._deliver_feedback_line(now)
+
+        controllers = [flow.cc for flow in active]
+        cc_cls = type(controllers[0])
+        if all(type(cc) is cc_cls for cc in controllers):
+            cc_cls.advance_batch(controllers, dt, now)
+        else:
+            for cc in controllers:
+                cc.on_interval(dt, now)
+
+        # 6. completions (mark_finished touches no controller state, so
+        # running it after the CC advance matches the scalar outcome)
+        finished: List[Flow] = []
+        completed_idx = np.flatnonzero(remaining <= 0.0)
+        if completed_idx.size:
+            want_l = want[completed_idx].tolist()
+            before_l = before[completed_idx].tolist()
+            for k, i in enumerate(completed_idx.tolist()):
+                flow = active[i]
+                would_send = want_l[k]
+                fraction = before_l[k] / would_send if would_send > 0 else 1.0
+                fraction = min(1.0, max(0.0, fraction))
+                flow.mark_finished(now + fraction * dt)
+                finished.append(flow)
+
+        self._finish_flows(finished)
+        # the queue monitor, link traces and scenario events read inter-DC
+        # link objects between steps
+        inc.sync_inter_dc()
+        self._maybe_stop()
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -369,11 +698,16 @@ class FluidSimulation:
             return False
         flow.path = tuple(new_path)
         flow.base_rtt_s = 2.0 * sum(link.delay_s for link in new_path)
+        if self._incidence is not None:
+            self._incidence.update_flow_path(flow)
         return True
 
     def _fail_flow(self, flow: Flow, now: float) -> None:
         """Explicitly fail a flow stranded on a dead path past the timeout."""
+        flow._feedback_live = False
         self._active.remove(flow)
+        if self._incidence is not None:
+            self._incidence.remove_flow(flow)
         self._failed.append(
             FlowFailure(
                 flow_id=flow.flow_id,
@@ -410,6 +744,10 @@ class FluidSimulation:
         )
 
     def _build_result(self) -> SimulationResult:
+        if self._incidence is not None:
+            # flush every array-held link state (incl. host NIC links) back
+            # to the RuntimeLink objects before reading stats off them
+            self._incidence.sync_all()
         duration = self.engine.now
         stats = []
         for link in self.network.inter_dc_links:

@@ -1,0 +1,248 @@
+"""Flow×link incidence arrays — the vectorized core's data layout.
+
+The scalar update step walks Python dicts over every flow×link pair at every
+1 ms tick.  :class:`FlowLinkIncidence` replaces those walks with a CSR-style
+index structure over numpy arrays:
+
+* a **link registry**: every :class:`~repro.simulator.link.RuntimeLink` that
+  has ever appeared on an active flow's path gets a stable integer slot;
+  static per-link attributes (buffer size, ECN thresholds) live in parallel
+  arrays indexed by slot;
+* a **per-flow index array**: each flow caches the registry slots of its
+  path links, computed once at arrival (or re-route) time;
+* a **concatenated view**: the per-flow arrays concatenated in active-flow
+  order (``idx``), plus segment ``starts``/``lengths`` — exactly the layout
+  ``np.add.at`` / ``np.minimum.reduceat`` / ``np.multiply.reduceat`` want.
+
+The concatenated view is rebuilt **only when flow membership or a path
+changes** (arrival, completion, failure, re-route) — event-driven and rare
+relative to update ticks.  Link capacity / liveness arrays are cached and
+re-gathered only when :attr:`RuntimeLink.state_version` says some link
+mutated (scenario fault injection, capacity events) or the registry grew.
+
+Mutable per-link state (queue, carried/dropped bytes, peak queue, offered
+load) is held *in the arrays* while a vectorized run is in flight; the
+owning :class:`~repro.simulator.fluid.FluidSimulation` syncs inter-DC slots
+back to their ``RuntimeLink`` objects every step (the queue monitor and the
+scenario injector read them) and syncs everything back via :meth:`sync_all`
+before results are built.  See DESIGN.md ("Vectorized core") for the layout
+contract and the scalar-vs-vector equivalence guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .link import RuntimeLink
+
+__all__ = ["FlowLinkIncidence"]
+
+
+class FlowLinkIncidence:
+    """CSR-style flow×link incidence over a stable link registry."""
+
+    def __init__(self) -> None:
+        # --- link registry (append-only) ---
+        self._links: List[RuntimeLink] = []
+        self._slot_of: Dict[RuntimeLink, int] = {}
+        # static per-link attributes, as python lists until frozen to arrays
+        self._buffer_l: List[float] = []
+        self._kmin_l: List[float] = []
+        self._kmax_l: List[float] = []
+        self._pmax_l: List[float] = []
+        self._interdc_l: List[bool] = []
+        # frozen static arrays (rebuilt when the registry grows)
+        self.buffer_bytes = np.empty(0)
+        self.ecn_kmin = np.empty(0)
+        self.ecn_kmax = np.empty(0)
+        self.ecn_pmax = np.empty(0)
+        self._interdc_slots = np.empty(0, dtype=np.intp)
+        # mutable per-link state (authoritative between syncs)
+        self.queue_bytes = np.empty(0)
+        self.peak_queue_bytes = np.empty(0)
+        self.carried_bytes = np.empty(0)
+        self.dropped_bytes = np.empty(0)
+        self.offered_bps = np.empty(0)
+        # cached dynamic per-link attributes (capacity, liveness)
+        self.cap_bps = np.empty(0)
+        self.up = np.empty(0, dtype=bool)
+        self._seen_state_version = -1
+        # --- per-flow structure ---
+        self._flow_idx: Dict[object, np.ndarray] = {}
+        # concatenated CSR view over the active flows
+        self.idx = np.empty(0, dtype=np.intp)
+        self.starts = np.empty(0, dtype=np.intp)
+        self.lengths = np.empty(0, dtype=np.intp)
+        self.active_slots = np.empty(0, dtype=np.intp)
+        self._membership_dirty = True
+        self._registry_dirty = True
+
+    # ------------------------------------------------------------------ #
+    # registry
+    # ------------------------------------------------------------------ #
+    @property
+    def num_links(self) -> int:
+        """Number of links ever registered."""
+        return len(self._links)
+
+    @property
+    def links(self) -> List[RuntimeLink]:
+        """The registered links, in slot order."""
+        return list(self._links)
+
+    def _slot(self, link: RuntimeLink) -> int:
+        slot = self._slot_of.get(link)
+        if slot is None:
+            slot = len(self._links)
+            self._slot_of[link] = slot
+            self._links.append(link)
+            self._buffer_l.append(float(link.buffer_bytes))
+            self._kmin_l.append(link.ecn_kmin_bytes)
+            self._kmax_l.append(link.ecn_kmax_bytes)
+            self._pmax_l.append(link.ecn_pmax)
+            self._interdc_l.append(link.spec.inter_dc)
+            self._registry_dirty = True
+        return slot
+
+    def _refresh_registry(self) -> None:
+        """Regrow the static and state arrays after new links registered."""
+        old = len(self.queue_bytes)
+        new = len(self._links)
+        self.buffer_bytes = np.array(self._buffer_l)
+        self.ecn_kmin = np.array(self._kmin_l)
+        self.ecn_kmax = np.array(self._kmax_l)
+        self.ecn_pmax = np.array(self._pmax_l)
+        self._interdc_slots = np.flatnonzero(np.asarray(self._interdc_l, dtype=bool))
+        for name in (
+            "queue_bytes",
+            "peak_queue_bytes",
+            "carried_bytes",
+            "dropped_bytes",
+            "offered_bps",
+        ):
+            grown = np.empty(new)
+            grown[:old] = getattr(self, name)
+            grown[old:] = [getattr(link, name) for link in self._links[old:]]
+            setattr(self, name, grown)
+        self._registry_dirty = False
+        self._seen_state_version = -1  # force a cap/up re-gather
+
+    def _refresh_dynamic(self) -> None:
+        """Re-gather capacity / liveness when some link mutated."""
+        n = len(self._links)
+        self.cap_bps = np.fromiter(
+            (link.cap_bps for link in self._links), dtype=np.float64, count=n
+        )
+        self.up = np.fromiter(
+            (link.up for link in self._links), dtype=bool, count=n
+        )
+        self._seen_state_version = RuntimeLink.state_version
+
+    # ------------------------------------------------------------------ #
+    # flow membership
+    # ------------------------------------------------------------------ #
+    def add_flow(self, flow) -> None:
+        """Register a newly arrived flow's path."""
+        self._flow_idx[flow] = np.array(
+            [self._slot(link) for link in flow.path], dtype=np.intp
+        )
+        self._membership_dirty = True
+
+    def update_flow_path(self, flow) -> None:
+        """Re-index a flow after a re-route changed its path."""
+        self.add_flow(flow)
+
+    def remove_flow(self, flow) -> None:
+        """Drop a finished or failed flow."""
+        self._flow_idx.pop(flow, None)
+        self._membership_dirty = True
+
+    # ------------------------------------------------------------------ #
+    # refresh
+    # ------------------------------------------------------------------ #
+    def refresh(self, active: Sequence[object]) -> None:
+        """Bring every cached array up to date for the given active flows.
+
+        Cheap when nothing changed: two flag checks and one integer
+        comparison against :attr:`RuntimeLink.state_version`.
+        """
+        if self._registry_dirty:
+            self._refresh_registry()
+        if self._membership_dirty:
+            if active:
+                per_flow = [self._flow_idx[flow] for flow in active]
+                self.lengths = np.fromiter(
+                    (len(a) for a in per_flow), dtype=np.intp, count=len(per_flow)
+                )
+                self.idx = np.concatenate(per_flow)
+                starts = np.zeros(len(per_flow), dtype=np.intp)
+                np.cumsum(self.lengths[:-1], out=starts[1:])
+                self.starts = starts
+                mask = np.zeros(len(self._links), dtype=bool)
+                mask[self.idx] = True
+                self.active_slots = np.flatnonzero(mask)
+            else:
+                self.idx = np.empty(0, dtype=np.intp)
+                self.starts = np.empty(0, dtype=np.intp)
+                self.lengths = np.empty(0, dtype=np.intp)
+                self.active_slots = np.empty(0, dtype=np.intp)
+            self._membership_dirty = False
+        if self._seen_state_version != RuntimeLink.state_version:
+            self._refresh_dynamic()
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def broken_flows(self) -> np.ndarray:
+        """Boolean per active flow: does its path cross a dead link?
+
+        Requires :meth:`refresh` to have run for the current active list.
+        """
+        if len(self.starts) == 0:
+            return np.empty(0, dtype=bool)
+        path_up = np.minimum.reduceat(
+            self.up[self.idx].astype(np.float64), self.starts
+        )
+        return path_up < 0.5
+
+    # ------------------------------------------------------------------ #
+    # write-back
+    # ------------------------------------------------------------------ #
+    _STATE_FIELDS = (
+        "queue_bytes",
+        "peak_queue_bytes",
+        "carried_bytes",
+        "dropped_bytes",
+        "offered_bps",
+    )
+
+    def _sync_slots(self, slots: np.ndarray) -> None:
+        links = self._links
+        queues = self.queue_bytes[slots].tolist()
+        peaks = self.peak_queue_bytes[slots].tolist()
+        carried = self.carried_bytes[slots].tolist()
+        dropped = self.dropped_bytes[slots].tolist()
+        offered = self.offered_bps[slots].tolist()
+        for i, slot in enumerate(slots.tolist()):
+            link = links[slot]
+            link.queue_bytes = queues[i]
+            link.peak_queue_bytes = peaks[i]
+            link.carried_bytes = carried[i]
+            link.dropped_bytes = dropped[i]
+            link.offered_bps = offered[i]
+
+    def sync_inter_dc(self) -> None:
+        """Write inter-DC slots back to their RuntimeLink objects.
+
+        Called every update step: the queue monitor, link traces and the
+        scenario injector read inter-DC link state between steps.
+        """
+        if len(self._interdc_slots):
+            self._sync_slots(self._interdc_slots)
+
+    def sync_all(self) -> None:
+        """Write every registered slot back (end of run / result build)."""
+        if len(self._links):
+            self._sync_slots(np.arange(len(self._links), dtype=np.intp))

@@ -9,8 +9,9 @@ tracks carried bytes for utilisation statistics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from typing import Tuple
+
+import numpy as np
 
 from ..topology.graph import LinkSpec
 
@@ -18,7 +19,24 @@ __all__ = ["RuntimeLink"]
 
 
 class RuntimeLink:
-    """Mutable runtime state layered over a static :class:`LinkSpec`."""
+    """Mutable runtime state layered over a static :class:`LinkSpec`.
+
+    The scalar update path drives one link at a time through
+    :meth:`integrate`; the vectorized core
+    (:mod:`repro.simulator.incidence`) drives many links per step through
+    the batched :meth:`integrate_batch`, which applies the exact same
+    arithmetic over parallel arrays.
+
+    Class attribute :attr:`state_version` is a global generation counter
+    bumped whenever *any* link's capacity or liveness mutates
+    (:meth:`fail` / :meth:`recover` / :meth:`set_capacity_factor` / the
+    ``up`` setter).  The vectorized core caches per-link capacity/liveness
+    arrays and re-gathers them only when this counter moves — an O(1)
+    check per tick instead of an O(links) sweep.
+    """
+
+    #: global generation counter for capacity/liveness mutations
+    state_version: int = 0
 
     def __init__(
         self,
@@ -83,6 +101,22 @@ class RuntimeLink:
         # direct assignment is an absolute override (used by tests and
         # ad-hoc scripts): it discards any down-cause bookkeeping
         self._down_causes = 0 if value else max(1, self._down_causes)
+        RuntimeLink.state_version += 1
+
+    @property
+    def ecn_kmin_bytes(self) -> float:
+        """Queue depth at which ECN marking starts (bytes)."""
+        return self._ecn_kmin
+
+    @property
+    def ecn_kmax_bytes(self) -> float:
+        """Queue depth at which ECN marking saturates (bytes)."""
+        return self._ecn_kmax
+
+    @property
+    def ecn_pmax(self) -> float:
+        """Marking probability at the ``kmax`` threshold."""
+        return self._ecn_pmax
 
     # ------------------------------------------------------------------ #
     # fluid update
@@ -124,6 +158,63 @@ class RuntimeLink:
             return 1.0
         accepted = arriving_bytes - dropped
         return max(0.0, min(1.0, accepted / arriving_bytes))
+
+    @staticmethod
+    def integrate_batch(
+        offered_bps: np.ndarray,
+        dt: float,
+        cap_bps: np.ndarray,
+        up: np.ndarray,
+        buffer_bytes: np.ndarray,
+        queue_bytes: np.ndarray,
+        peak_queue_bytes: np.ndarray,
+        carried_bytes: np.ndarray,
+        dropped_bytes: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Batched :meth:`integrate` over parallel per-link arrays.
+
+        Applies the exact same arithmetic as the scalar method to every
+        link at once (element i of each array is link i), so a vectorized
+        step produces bit-identical queue/byte state.  Dead links
+        (``up[i]`` false) drop everything offered and leave their queue
+        untouched, exactly like the scalar early-out.
+
+        Args:
+            offered_bps: total arrival rate per link during the step.
+            dt: step length in seconds.
+            cap_bps / up / buffer_bytes: per-link capacity, liveness and
+                buffer size.
+            queue_bytes / peak_queue_bytes / carried_bytes / dropped_bytes:
+                current per-link state (not mutated).
+
+        Returns:
+            ``(queue, peak, carried, dropped, fraction)`` — the updated
+            state arrays plus the carried fraction :meth:`integrate`
+            reports.
+        """
+        arriving = offered_bps * dt / 8.0
+        draining = cap_bps * dt / 8.0
+
+        carried_step = np.minimum(arriving + queue_bytes, draining)
+        new_queue = (queue_bytes + arriving) - carried_step
+        overflow = new_queue > buffer_bytes
+        dropped_step = np.where(overflow, new_queue - buffer_bytes, 0.0)
+        new_queue = np.where(overflow, buffer_bytes, new_queue)
+        new_queue = np.maximum(0.0, new_queue)
+
+        # dead ports: queue/carried/peak untouched, everything offered lost
+        dead = ~up
+        queue = np.where(dead, queue_bytes, new_queue)
+        peak = np.where(dead, peak_queue_bytes, np.maximum(peak_queue_bytes, new_queue))
+        carried = np.where(dead, carried_bytes, carried_bytes + carried_step)
+        dropped = dropped_bytes + np.where(dead, arriving, dropped_step)
+
+        accepted = arriving - dropped_step
+        fraction = np.ones_like(arriving)
+        np.divide(accepted, arriving, out=fraction, where=arriving > 0)
+        fraction = np.clip(fraction, 0.0, 1.0)
+        fraction = np.where(dead, 0.0, fraction)
+        return queue, peak, carried, dropped, fraction
 
     # ------------------------------------------------------------------ #
     # congestion signals
@@ -171,10 +262,12 @@ class RuntimeLink:
         (maintenance window + explicit cut) compose correctly.
         """
         self._down_causes += 1
+        RuntimeLink.state_version += 1
 
     def recover(self) -> None:
         """Remove one down-cause; the port comes up when none remain."""
         self._down_causes = max(0, self._down_causes - 1)
+        RuntimeLink.state_version += 1
 
     def set_capacity_factor(self, factor: float, now: float = 0.0) -> None:
         """Scale the effective capacity to ``factor`` x the provisioned rate.
@@ -195,6 +288,7 @@ class RuntimeLink:
             self._cap_integral_bits += self.cap_bps * (now - self._cap_marker_s)
             self._cap_marker_s = now
         self.capacity_factor = float(factor)
+        RuntimeLink.state_version += 1
 
     def reset_counters(self) -> None:
         """Zero carried/dropped byte counters (keeps queue state)."""

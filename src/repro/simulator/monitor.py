@@ -8,11 +8,20 @@ driven by a periodic engine event and forwards
 
 :class:`LinkTrace` optionally records per-link time series (queue depth,
 utilisation) for the motivation figure (Fig. 1b) and for debugging.
+
+Both samplers read state off the :class:`~repro.simulator.link.RuntimeLink`
+objects.  That stays correct under the vectorized update core — which keeps
+link state in arrays (:mod:`repro.simulator.incidence`) — because the core
+syncs every inter-DC slot back to its link object at the end of each update
+step, and the monitor fires *before* the update when both land on the same
+instant; a sample at time t therefore observes exactly the post-step state
+of t − 1 on either core, which is what keeps traces bit-identical between
+the scalar and vectorized paths.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from .link import RuntimeLink

@@ -11,10 +11,10 @@ describes.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..topology.graph import Topology, TopologyError
-from ..topology.paths import CandidatePath, PathSet, shortest_delay_path
+from ..topology.paths import PathSet, shortest_delay_path
 from .config import SimulationConfig
 from .flow import FlowDemand
 from .link import RuntimeLink

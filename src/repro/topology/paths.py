@@ -15,7 +15,7 @@ simulator's access-delay model.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .graph import LinkSpec, Topology, TopologyError

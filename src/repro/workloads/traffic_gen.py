@@ -19,8 +19,8 @@ arrival rate so that ``load = lambda * mean_flow_size / capacity``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

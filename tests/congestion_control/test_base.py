@@ -3,7 +3,6 @@
 import pytest
 
 from repro.congestion_control import (
-    CongestionControl,
     available_ccs,
     make_cc_factory,
 )

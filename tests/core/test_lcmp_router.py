@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import ControlPlane, LCMPConfig, LCMPRouter
-from repro.simulator import DCISwitch, FlowDemand, PortSample, RuntimeLink
+from repro.simulator import FlowDemand, PortSample
 from repro.topology import GBPS
 
 

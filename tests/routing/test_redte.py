@@ -2,7 +2,6 @@
 
 from collections import Counter
 
-import pytest
 
 from repro.routing import RedTERouter
 from repro.simulator import FlowDemand, PortSample

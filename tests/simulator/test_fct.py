@@ -5,7 +5,7 @@ import pytest
 
 from repro.congestion_control import FixedRate
 from repro.simulator import FCTCollector, Flow, FlowDemand, IdealFctModel, RuntimeLink
-from repro.topology import GBPS, MS, PathSet
+from repro.topology import GBPS, MS
 from repro.topology.graph import LinkSpec
 
 

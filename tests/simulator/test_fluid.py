@@ -9,9 +9,7 @@ from repro.simulator import (
     FlowDemand,
     FluidSimulation,
     RuntimeNetwork,
-    SimulationConfig,
 )
-from repro.topology import GBPS
 
 
 def make_network(topology, pathset, config, router="ecmp"):

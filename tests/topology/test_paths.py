@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.topology import (
     GBPS,
     MS,
-    PathSet,
     Topology,
     TopologyError,
     enumerate_paths,

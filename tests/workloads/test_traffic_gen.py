@@ -1,6 +1,5 @@
 """Tests for the synthetic traffic generator."""
 
-import numpy as np
 import pytest
 
 from repro.workloads import (
