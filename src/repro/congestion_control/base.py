@@ -40,6 +40,12 @@ class CongestionControl(abc.ABC):
     #: registry name, e.g. ``"dcqcn"``
     name: str = "base"
 
+    #: column name -> numpy dtype string of the per-class state this
+    #: algorithm keeps in the simulation's FlowTable block (see
+    #: :mod:`repro.simulator.flow_table`); empty = state stays on the
+    #: instance and the slot-batch hooks fall back to object dispatch
+    table_block_spec: Dict[str, str] = {}
+
     def __init__(self, line_rate_bps: float, base_rtt_s: float, min_rate_bps: float = 1e6):
         """Create a controller.
 
@@ -55,9 +61,77 @@ class CongestionControl(abc.ABC):
         self.line_rate_bps = float(line_rate_bps)
         self.base_rtt_s = float(base_rtt_s)
         self.min_rate_bps = float(min_rate_bps)
-        self.rate_bps = float(line_rate_bps)
-        #: count of feedback signals processed (useful in tests)
-        self.feedback_count = 0
+        #: owning FlowTable / row slot while bound (SoA core), else None/-1
+        self._table = None
+        self._slot = -1
+        self._rate_bps = float(line_rate_bps)
+        self._fb_count = 0
+
+    # ------------------------------------------------------------------ #
+    # FlowTable binding (see repro.simulator.flow_table)
+    # ------------------------------------------------------------------ #
+    @property
+    def rate_bps(self) -> float:
+        """Current sending rate; table-resident while bound to a FlowTable."""
+        t = self._table
+        if t is None:
+            return self._rate_bps
+        return t.cc_rate_bps[self._slot]
+
+    @rate_bps.setter
+    def rate_bps(self, value: float) -> None:
+        t = self._table
+        if t is None:
+            self._rate_bps = value
+        else:
+            t.cc_rate_bps[self._slot] = value
+
+    @property
+    def feedback_count(self) -> int:
+        """Count of feedback signals processed (useful in tests)."""
+        t = self._table
+        if t is None:
+            return self._fb_count
+        return int(t.feedback_count[self._slot])
+
+    @feedback_count.setter
+    def feedback_count(self, value: int) -> None:
+        t = self._table
+        if t is None:
+            self._fb_count = value
+        else:
+            t.feedback_count[self._slot] = value
+
+    def bind_table(self, table, slot: int) -> None:
+        """Move this controller's mutable state into ``table`` row ``slot``.
+
+        Subclasses with a :attr:`table_block_spec` override
+        :meth:`_push_state` / :meth:`_pull_state` to move their block
+        columns; the base class moves the sending rate and feedback count.
+        """
+        table.cc_rate_bps[slot] = self._rate_bps
+        table.feedback_count[slot] = self._fb_count
+        self._push_state(table, slot)
+        self._table = table
+        self._slot = slot
+
+    def unbind_table(self) -> None:
+        """Copy the row's final values back and detach from the table."""
+        table = self._table
+        if table is None:
+            return
+        slot = self._slot
+        self._table = None
+        self._slot = -1
+        self._rate_bps = float(table.cc_rate_bps[slot])
+        self._fb_count = int(table.feedback_count[slot])
+        self._pull_state(table, slot)
+
+    def _push_state(self, table, slot: int) -> None:
+        """Write algorithm state into the class's block columns (hook)."""
+
+    def _pull_state(self, table, slot: int) -> None:
+        """Read algorithm state back from the block columns (hook)."""
 
     # ------------------------------------------------------------------ #
     @abc.abstractmethod
@@ -108,6 +182,35 @@ class CongestionControl(abc.ABC):
             cc.on_feedback(
                 FeedbackSignal(generated_s, ecn[i], util[i], rtt[i], qd[i]), now
             )
+
+    # ------------------------------------------------------------------ #
+    # FlowTable slot batches (the SoA core's dispatch points)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def advance_batch_slots(cls, table, slots, dt: float, now: float) -> None:
+        """Advance the controllers occupying ``slots`` of ``table``.
+
+        The base implementation gathers the controller objects and defers
+        to :meth:`advance_batch` (so existing object-level overrides keep
+        working); classes that keep their state in a table block override
+        this with in-place masked column operations, which must stay
+        bit-for-bit identical to :meth:`on_interval` per row.
+        """
+        controllers = [table.flow_at(s).cc for s in slots.tolist()]
+        cls.advance_batch(controllers, dt, now)
+
+    @classmethod
+    def feedback_batch_slots(
+        cls, table, slots, generated_s: float, ecn, util, rtt, qd, now: float
+    ) -> None:
+        """Deliver one feedback signal to each controller in ``slots``.
+
+        Same contract as :meth:`advance_batch_slots`: the base gathers
+        objects and defers to :meth:`feedback_batch`; block-resident
+        classes override with in-place column operations.
+        """
+        controllers = [table.flow_at(s).cc for s in slots.tolist()]
+        cls.feedback_batch(controllers, generated_s, ecn, util, rtt, qd, now)
 
     # ------------------------------------------------------------------ #
     def _clamp(self) -> None:

@@ -25,9 +25,41 @@ __all__ = ["DCQCN"]
 
 @register_cc
 class DCQCN(CongestionControl):
-    """Rate-based DCQCN model."""
+    """Rate-based DCQCN model.
+
+    All mutable algorithm state (``alpha``, the target rate, both timer
+    accumulators, the increase stage) plus the static parameters live in a
+    per-class :class:`~repro.simulator.flow_table.ColumnBlock` while the
+    instance is bound to a :class:`~repro.simulator.flow_table.FlowTable`
+    (the SoA simulator core); instance attributes are then views onto the
+    row, and the batched feedback/advance paths run as in-place masked
+    column operations with no per-object gather or writeback.  Unbound
+    instances (the scalar reference path, unit tests) keep plain-attribute
+    behaviour.
+    """
 
     name = "dcqcn"
+
+    #: FlowTable block columns: algorithm state + static parameters
+    #: (parameters are replicated per row so the masked column math never
+    #: needs a per-object gather; ``rate_bps`` lives in the table's core
+    #: ``cc_rate_bps`` column shared by every CC class)
+    table_block_spec = {
+        "alpha": "f8",
+        "target": "f8",
+        "t_alpha": "f8",
+        "t_inc": "f8",
+        "stage": "f8",
+        "congested": "?",
+        "p_interval": "f8",
+        "p_g": "f8",
+        "p_inc": "f8",
+        "p_line": "f8",
+        "p_ai": "f8",
+        "p_hai": "f8",
+        "p_floor": "f8",
+        "p_thresh": "f8",
+    }
 
     def __init__(
         self,
@@ -84,6 +116,128 @@ class DCQCN(CongestionControl):
     #: interning cache for :attr:`_batch_params` (bounded: one entry per
     #: distinct parameterisation ever constructed)
     _PARAM_CACHE: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # FlowTable views (see repro.simulator.flow_table)
+    # ------------------------------------------------------------------ #
+    def _push_state(self, table, slot: int) -> None:
+        block = table.cc_block(DCQCN)
+        block.alpha[slot] = self._sh_alpha
+        block.target[slot] = self._sh_target
+        block.t_alpha[slot] = self._sh_t_alpha
+        block.t_inc[slot] = self._sh_t_inc
+        block.stage[slot] = self._sh_stage
+        block.congested[slot] = self._sh_congested
+        params = self._batch_params
+        block.p_interval[slot] = params[0]
+        block.p_g[slot] = params[1]
+        block.p_inc[slot] = params[2]
+        block.p_line[slot] = params[3]
+        block.p_ai[slot] = params[4]
+        block.p_hai[slot] = params[5]
+        block.p_floor[slot] = params[6]
+        block.p_thresh[slot] = params[7]
+
+    def _pull_state(self, table, slot: int) -> None:
+        block = table.cc_block(DCQCN)
+        self._sh_alpha = float(block.alpha[slot])
+        self._sh_target = float(block.target[slot])
+        self._sh_t_alpha = float(block.t_alpha[slot])
+        self._sh_t_inc = float(block.t_inc[slot])
+        self._sh_stage = int(block.stage[slot])
+        self._sh_congested = bool(block.congested[slot])
+
+    @property
+    def alpha(self) -> float:
+        """EWMA of the observed marking level."""
+        t = self._table
+        if t is None:
+            return self._sh_alpha
+        return t.cc_block(DCQCN).alpha[self._slot]
+
+    @alpha.setter
+    def alpha(self, value: float) -> None:
+        t = self._table
+        if t is None:
+            self._sh_alpha = value
+        else:
+            t.cc_block(DCQCN).alpha[self._slot] = value
+
+    @property
+    def target_rate_bps(self) -> float:
+        """Rate the staged recovery climbs toward."""
+        t = self._table
+        if t is None:
+            return self._sh_target
+        return t.cc_block(DCQCN).target[self._slot]
+
+    @target_rate_bps.setter
+    def target_rate_bps(self, value: float) -> None:
+        t = self._table
+        if t is None:
+            self._sh_target = value
+        else:
+            t.cc_block(DCQCN).target[self._slot] = value
+
+    @property
+    def _time_since_alpha_update(self) -> float:
+        t = self._table
+        if t is None:
+            return self._sh_t_alpha
+        return t.cc_block(DCQCN).t_alpha[self._slot]
+
+    @_time_since_alpha_update.setter
+    def _time_since_alpha_update(self, value: float) -> None:
+        t = self._table
+        if t is None:
+            self._sh_t_alpha = value
+        else:
+            t.cc_block(DCQCN).t_alpha[self._slot] = value
+
+    @property
+    def _time_since_increase(self) -> float:
+        t = self._table
+        if t is None:
+            return self._sh_t_inc
+        return t.cc_block(DCQCN).t_inc[self._slot]
+
+    @_time_since_increase.setter
+    def _time_since_increase(self, value: float) -> None:
+        t = self._table
+        if t is None:
+            self._sh_t_inc = value
+        else:
+            t.cc_block(DCQCN).t_inc[self._slot] = value
+
+    @property
+    def _increase_stage(self) -> int:
+        t = self._table
+        if t is None:
+            return self._sh_stage
+        return int(t.cc_block(DCQCN).stage[self._slot])
+
+    @_increase_stage.setter
+    def _increase_stage(self, value: int) -> None:
+        t = self._table
+        if t is None:
+            self._sh_stage = value
+        else:
+            t.cc_block(DCQCN).stage[self._slot] = value
+
+    @property
+    def _congested_recently(self) -> bool:
+        t = self._table
+        if t is None:
+            return self._sh_congested
+        return bool(t.cc_block(DCQCN).congested[self._slot])
+
+    @_congested_recently.setter
+    def _congested_recently(self, value: bool) -> None:
+        t = self._table
+        if t is None:
+            self._sh_congested = value
+        else:
+            t.cc_block(DCQCN).congested[self._slot] = value
 
     @classmethod
     def _gather_params(cls, controllers, *columns):
@@ -262,6 +416,92 @@ class DCQCN(CongestionControl):
             cc.rate_bps = rate_l[i]
             cc.target_rate_bps = target_l[i]
             cc._increase_stage = int(stage_l[i])
+
+    # ------------------------------------------------------------------ #
+    # FlowTable slot batches: the SoA core's hot paths.  Same arithmetic
+    # as feedback_batch / advance_batch lane for lane, but state is read
+    # from and written to the table's column block directly — no object
+    # gather, no .tolist() writeback loop.
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def feedback_batch_slots(
+        cls, table, slots, generated_s, ecn, util, rtt, qd, now
+    ) -> None:
+        """In-place :meth:`feedback_batch` over FlowTable rows ``slots``."""
+        if not len(slots):
+            return
+        block = table.cc_block(cls)
+        ecn = np.asarray(ecn)
+        g = block.p_g[slots]
+        line = block.p_line[slots]
+        floor = block.p_floor[slots]
+        threshold = block.p_thresh[slots]
+        alpha = block.alpha[slots]
+        rate = table.cc_rate_bps[slots]
+        target = block.target[slots]
+
+        congested = ecn > threshold
+        alpha = np.where(
+            congested, (1 - g) * alpha + g * np.minimum(1.0, ecn * 4), alpha
+        )
+        target = np.where(congested, rate, target)
+        rate = np.where(congested, rate * (1 - alpha / 2.0), rate)
+        rate = np.where(congested, np.minimum(line, np.maximum(floor, rate)), rate)
+
+        block.alpha[slots] = alpha
+        table.cc_rate_bps[slots] = rate
+        block.target[slots] = target
+        block.stage[slots] = np.where(congested, 0.0, block.stage[slots])
+        block.congested[slots] = congested
+        table.feedback_count[slots] += 1
+
+    @classmethod
+    def advance_batch_slots(cls, table, slots, dt: float, now: float) -> None:
+        """In-place :meth:`advance_batch` over FlowTable rows ``slots``."""
+        if not len(slots):
+            return
+        block = table.cc_block(cls)
+        interval = block.p_interval[slots]
+        g = block.p_g[slots]
+        inc_interval = block.p_inc[slots]
+        line = block.p_line[slots]
+        ai = block.p_ai[slots]
+        hai = block.p_hai[slots]
+        floor = block.p_floor[slots]
+        alpha = block.alpha[slots]
+        elapsed = block.t_alpha[slots] + dt
+        inc_elapsed = block.t_inc[slots] + dt
+        rate = table.cc_rate_bps[slots]
+        target = block.target[slots]
+        stage = block.stage[slots]
+
+        # alpha decay
+        decay = 1 - g
+        pending = elapsed >= interval
+        while pending.any():
+            elapsed = np.where(pending, elapsed - interval, elapsed)
+            alpha = np.where(pending, alpha * decay, alpha)
+            pending = elapsed >= interval
+
+        # staged rate recovery (fast recovery / AI / hyper increase)
+        pending = inc_elapsed >= inc_interval
+        while pending.any():
+            inc_elapsed = np.where(pending, inc_elapsed - inc_interval, inc_elapsed)
+            ai_lane = pending & (stage >= 5) & (stage < 10)
+            hai_lane = pending & (stage >= 10)
+            target = np.where(ai_lane, np.minimum(line, target + ai), target)
+            target = np.where(hai_lane, np.minimum(line, target + hai), target)
+            rate = np.where(pending, (rate + target) / 2.0, rate)
+            stage = np.where(pending, stage + 1, stage)
+            rate = np.where(pending, np.minimum(line, np.maximum(floor, rate)), rate)
+            pending = inc_elapsed >= inc_interval
+
+        block.alpha[slots] = alpha
+        block.t_alpha[slots] = elapsed
+        block.t_inc[slots] = inc_elapsed
+        table.cc_rate_bps[slots] = rate
+        block.target[slots] = target
+        block.stage[slots] = stage
 
     # ------------------------------------------------------------------ #
     def _increase_once(self) -> None:

@@ -13,6 +13,7 @@ from .config import SimulationConfig
 from .engine import Event, EventQueue, SimulationEngine, SimulationError
 from .fct import FCTCollector, FlowRecord, IdealFctModel
 from .flow import FeedbackSignal, Flow, FlowDemand
+from .flow_table import ColumnBlock, FlowTable
 from .fluid import FlowFailure, FluidSimulation, LinkStats, SimulationResult
 from .incidence import FlowLinkIncidence
 from .link import RuntimeLink
@@ -38,6 +39,8 @@ __all__ = [
     "SimulationResult",
     "RuntimeLink",
     "FlowLinkIncidence",
+    "FlowTable",
+    "ColumnBlock",
     "LinkTrace",
     "LinkTraceSample",
     "QueueMonitor",

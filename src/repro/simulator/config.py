@@ -43,6 +43,16 @@ class SimulationConfig:
             identical results (see DESIGN.md, "Vectorized core"); the
             scalar path is kept as the executable specification and for the
             equivalence tests.
+        soa: with ``vectorized``, keep per-flow and congestion-control
+            state resident in the structure-of-arrays
+            :class:`~repro.simulator.flow_table.FlowTable` (default) so an
+            update step crosses the Python↔numpy boundary O(1) times
+            instead of O(flows).  ``soa=False`` selects the object-resident
+            vectorized core (the PR-2 layout: per-step ``np.fromiter``
+            gathers and ``.tolist()`` writebacks), kept as the baseline the
+            high-concurrency step-throughput benchmark measures against.
+            All three cores are bit-for-bit identical (see DESIGN.md,
+            "Flow table (SoA)").
     """
 
     update_interval_s: float = 1e-3
@@ -57,6 +67,7 @@ class SimulationConfig:
     fidelity_noise: float = 0.0
     seed: int = 1
     vectorized: bool = True
+    soa: bool = True
 
     def with_overrides(self, **kwargs) -> "SimulationConfig":
         """Return a copy with the given fields replaced."""

@@ -36,23 +36,38 @@ class Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: owning queue while the event is pending (cleared on pop), so
+    #: cancellation can keep the queue's live-event counter exact
+    queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.queue is not None:
+            self.queue._live -= 1
+            self.queue = None
 
 
 class EventQueue:
-    """A priority queue of :class:`Event` ordered by time."""
+    """A priority queue of :class:`Event` ordered by time.
+
+    ``len()`` / truthiness report the number of *live* (non-cancelled)
+    events from a counter maintained on push/pop/cancel, so they are O(1)
+    instead of an O(heap) sweep per call.
+    """
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._counter = itertools.count()
+        self._live = 0
 
     def push(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at ``time`` and return the event handle."""
-        event = Event(time=time, seq=next(self._counter), callback=callback)
+        event = Event(time=time, seq=next(self._counter), callback=callback, queue=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
@@ -60,6 +75,8 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                self._live -= 1
+                event.queue = None
                 return event
         return None
 
@@ -70,10 +87,10 @@ class EventQueue:
         return self._heap[0].time if self._heap else None
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return len(self) > 0
+        return self._live > 0
 
 
 class SimulationEngine:

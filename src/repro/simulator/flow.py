@@ -74,7 +74,18 @@ class FeedbackSignal:
 
 
 class Flow:
-    """Runtime state of a single RDMA flow in the fluid model."""
+    """Runtime state of a single RDMA flow in the fluid model.
+
+    Mutable numeric state (remaining bytes, base RTT, achieved rate, the
+    disruption stamp, feedback-line bookkeeping) lives either in plain
+    attributes (the scalar reference path, standalone use in tests) or in
+    a row of the simulation's :class:`~repro.simulator.flow_table.FlowTable`
+    when :meth:`bind_table` has been called (the vectorized SoA core).  The
+    public surface is identical in both modes — properties dispatch to the
+    table row when bound, and unbound flows behave exactly like the
+    plain-attribute flows of earlier releases — so routers, the scenario
+    injector and existing tests never see the difference.
+    """
 
     def __init__(self, demand: FlowDemand, path: Sequence[RuntimeLink], cc, base_rtt_s: float):
         """Create a runtime flow.
@@ -90,14 +101,22 @@ class Flow:
         self.demand = demand
         self.path: Tuple[RuntimeLink, ...] = tuple(path)
         self.cc = cc
-        self.base_rtt_s = base_rtt_s
-        self.remaining_bytes: float = float(demand.size_bytes)
         self.start_s: float = demand.arrival_s
         self.finish_s: Optional[float] = None
+        #: owning FlowTable / row slot while bound (None / -1 otherwise);
+        #: ``_slot`` may be set without binding — the PR-2 compatibility
+        #: core keys its incidence structure and feedback lanes by slot
+        #: while object attributes stay authoritative
+        self._table = None
+        self._slot = -1
+        #: position in the owning simulation's active list (swap-remove)
+        self._active_pos = -1
+        self._base_rtt_s = float(base_rtt_s)
+        self._remaining_bytes: float = float(demand.size_bytes)
         #: achieved throughput during the most recent update step (bps)
-        self.achieved_bps: float = 0.0
+        self._achieved_bps: float = 0.0
         #: when the flow's path lost a link (None while the path is healthy)
-        self.disrupted_s: Optional[float] = None
+        self._disrupted_s: Optional[float] = None
         #: congestion feedback in flight towards the sender, normally in
         #: non-decreasing deliver-time order (append-only); a re-route that
         #: shortens the path RTT may break the order, tracked by the flag
@@ -107,10 +126,139 @@ class Flow:
         #: the vectorized feedback delay line checks it so signals headed
         #: to a gone flow are dropped, exactly like the scalar path
         #: abandoning the flow's pending deque
-        self._feedback_live = True
+        self._fb_live = True
         #: stamp of the last update tick that delivered feedback to this
         #: flow (vectorized core: detects several signals due at once)
-        self._feedback_tick = -1
+        self._fb_tick = -1
+
+    # ------------------------------------------------------------------ #
+    # FlowTable binding (see repro.simulator.flow_table)
+    # ------------------------------------------------------------------ #
+    def bind_table(self, table, slot: int) -> None:
+        """Move this flow's mutable state into ``table`` row ``slot``."""
+        table.remaining_bytes[slot] = self._remaining_bytes
+        table.base_rtt_s[slot] = self._base_rtt_s
+        table.achieved_bps[slot] = self._achieved_bps
+        table.disrupted_s[slot] = (
+            self._disrupted_s if self._disrupted_s is not None else float("nan")
+        )
+        table.feedback_live[slot] = self._fb_live
+        table.feedback_tick[slot] = self._fb_tick
+        self._table = table
+        self._slot = slot
+
+    def unbind_table(self) -> None:
+        """Copy the row's final values back and detach from the table."""
+        table = self._table
+        if table is None:
+            return
+        slot = self._slot
+        self._table = None
+        self._remaining_bytes = float(table.remaining_bytes[slot])
+        self._base_rtt_s = float(table.base_rtt_s[slot])
+        self._achieved_bps = float(table.achieved_bps[slot])
+        stamp = float(table.disrupted_s[slot])
+        self._disrupted_s = None if stamp != stamp else stamp
+        self._fb_live = bool(table.feedback_live[slot])
+        self._fb_tick = int(table.feedback_tick[slot])
+
+    # ------------------------------------------------------------------ #
+    # table-backed state
+    # ------------------------------------------------------------------ #
+    @property
+    def remaining_bytes(self) -> float:
+        """Bytes still to transfer."""
+        t = self._table
+        if t is None:
+            return self._remaining_bytes
+        return t.remaining_bytes[self._slot]
+
+    @remaining_bytes.setter
+    def remaining_bytes(self, value: float) -> None:
+        t = self._table
+        if t is None:
+            self._remaining_bytes = value
+        else:
+            t.remaining_bytes[self._slot] = value
+
+    @property
+    def base_rtt_s(self) -> float:
+        """Propagation-only round-trip time of the current path."""
+        t = self._table
+        if t is None:
+            return self._base_rtt_s
+        return t.base_rtt_s[self._slot]
+
+    @base_rtt_s.setter
+    def base_rtt_s(self, value: float) -> None:
+        t = self._table
+        if t is None:
+            self._base_rtt_s = value
+        else:
+            t.base_rtt_s[self._slot] = value
+
+    @property
+    def achieved_bps(self) -> float:
+        """Achieved throughput during the most recent update step (bps)."""
+        t = self._table
+        if t is None:
+            return self._achieved_bps
+        return t.achieved_bps[self._slot]
+
+    @achieved_bps.setter
+    def achieved_bps(self, value: float) -> None:
+        t = self._table
+        if t is None:
+            self._achieved_bps = value
+        else:
+            t.achieved_bps[self._slot] = value
+
+    @property
+    def disrupted_s(self) -> Optional[float]:
+        """When the flow's path lost a link (None while healthy)."""
+        t = self._table
+        if t is None:
+            return self._disrupted_s
+        stamp = t.disrupted_s[self._slot]
+        return None if stamp != stamp else float(stamp)
+
+    @disrupted_s.setter
+    def disrupted_s(self, value: Optional[float]) -> None:
+        t = self._table
+        if t is None:
+            self._disrupted_s = value
+        else:
+            t.disrupted_s[self._slot] = value if value is not None else float("nan")
+
+    @property
+    def _feedback_live(self) -> bool:
+        t = self._table
+        if t is None:
+            return self._fb_live
+        return bool(t.feedback_live[self._slot])
+
+    @_feedback_live.setter
+    def _feedback_live(self, value: bool) -> None:
+        t = self._table
+        if t is None:
+            self._fb_live = value
+        else:
+            t.feedback_live[self._slot] = value
+
+    @property
+    def _feedback_tick(self) -> int:
+        t = self._table
+        if t is None:
+            return self._fb_tick
+        return int(t.feedback_tick[self._slot])
+
+    @_feedback_tick.setter
+    def _feedback_tick(self, value: int) -> None:
+        t = self._table
+        if t is None:
+            self._fb_tick = value
+        else:
+            t.feedback_tick[self._slot] = value
 
     # ------------------------------------------------------------------ #
     @property

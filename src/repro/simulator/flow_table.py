@@ -1,0 +1,231 @@
+"""Structure-of-arrays FlowTable — array-resident per-flow state.
+
+PR 2's vectorized core made the per-step *math* array-based, but the
+per-flow *state* it read and wrote still lived in Python objects, so every
+update step crossed the Python↔numpy boundary O(flows) times (``np.fromiter``
+gathers, ``.tolist()`` writeback loops).  The :class:`FlowTable` removes
+those crossings by making contiguous numpy columns the authoritative home
+of all mutable per-flow state while a vectorized run is in flight:
+
+* **rows are stable slots** — a flow keeps its row for its whole lifetime;
+  finished/failed flows return their slot to a free list for reuse and the
+  column arrays double in capacity when the free list runs dry;
+* **core columns** hold the state every flow has (``remaining_bytes``,
+  ``base_rtt_s``, ``achieved_bps``, the disruption stamp, feedback-line
+  bookkeeping, the congestion controller's sending rate);
+* **per-CC-class column blocks** hold algorithm state: a congestion-control
+  class that declares :attr:`~repro.congestion_control.base.CongestionControl
+  .table_block_spec` gets its own block of columns (DCQCN keeps ``alpha``,
+  target rate, both timers, the increase stage and its static parameters
+  there), letting its batched feedback/advance run as in-place masked array
+  operations with no per-object gather/scatter;
+* **epochs guard slot reuse** — the feedback delay line stores slot indices,
+  so each acquire bumps the row's epoch and delivery drops lanes whose
+  epoch no longer matches (a signal headed to a finished flow must never
+  reach the slot's next tenant).
+
+Ownership contract (see DESIGN.md, "Flow table (SoA)"): while a
+:class:`~repro.simulator.flow.Flow` and its controller are *bound* to a row,
+the columns are authoritative and the objects are thin views — their
+properties read and write the row.  :meth:`release` copies the final column
+values back into the objects (unbinding them), so records, failure entries
+and tests keep reading correct values after the flow leaves the table.  The
+scalar reference path never binds anything and keeps its original plain-
+attribute behaviour, bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+import numpy as np
+
+__all__ = ["ColumnBlock", "FlowTable"]
+
+
+class ColumnBlock:
+    """A named set of parallel columns owned by one congestion-control class.
+
+    Column arrays are exposed as attributes (``block.alpha`` …) and always
+    share the owning table's capacity; :class:`FlowTable` grows them in
+    lockstep with the core columns.
+    """
+
+    def __init__(self, spec: Dict[str, str], capacity: int) -> None:
+        self._spec = dict(spec)
+        for name, dtype in self._spec.items():
+            setattr(self, name, np.zeros(capacity, dtype=dtype))
+
+    def _grow(self, capacity: int) -> None:
+        for name, dtype in self._spec.items():
+            grown = np.zeros(capacity, dtype=dtype)
+            old = getattr(self, name)
+            grown[: len(old)] = old
+            setattr(self, name, grown)
+
+
+class FlowTable:
+    """Structure-of-arrays table of per-flow simulation state.
+
+    Args:
+        capacity: initial number of row slots (grows by doubling).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = int(capacity)
+        #: flow object occupying each slot (None = free)
+        self._flows: List[Optional[object]] = [None] * self._capacity
+        #: free slots, reused LIFO
+        self._free: List[int] = []
+        #: next never-used slot
+        self._high_water = 0
+        #: live rows, per congestion-control class (uniform-fleet dispatch)
+        self.class_counts: Dict[Type, int] = {}
+
+        # --- core columns ---
+        self.remaining_bytes = np.zeros(self._capacity)
+        self.base_rtt_s = np.zeros(self._capacity)
+        self.achieved_bps = np.zeros(self._capacity)
+        #: NaN while the path is healthy, else the disruption timestamp —
+        #: lets the re-validation sweep find previously disrupted flows
+        #: with one ``isnan`` instead of a Python walk
+        self.disrupted_s = np.full(self._capacity, np.nan)
+        #: False once the flow left the active set; in-flight feedback
+        #: addressed to the slot is dropped (mirrors the scalar path
+        #: abandoning the flow's pending deque)
+        self.feedback_live = np.zeros(self._capacity, dtype=bool)
+        #: stamp of the last update tick that delivered feedback to the
+        #: row (detects several signals due in one step)
+        self.feedback_tick = np.full(self._capacity, -1, dtype=np.int64)
+        #: congestion-controller sending rate (every CC class exposes
+        #: ``rate_bps``; keeping it core makes the step-1 gather one take)
+        self.cc_rate_bps = np.zeros(self._capacity)
+        #: feedback signals delivered to the row's controller
+        self.feedback_count = np.zeros(self._capacity, dtype=np.int64)
+        #: bumped on every acquire; feedback lanes whose recorded epoch
+        #: no longer matches are dropped (slot-reuse guard)
+        self.epoch = np.zeros(self._capacity, dtype=np.int64)
+
+        #: per-CC-class column blocks, keyed by the CC class
+        self._blocks: Dict[Type, ColumnBlock] = {}
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        """Current number of allocated row slots."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        """Number of occupied rows."""
+        return self._high_water - len(self._free)
+
+    def flow_at(self, slot: int):
+        """The flow occupying ``slot`` (None when the slot is free)."""
+        return self._flows[slot]
+
+    # ------------------------------------------------------------------ #
+    # CC column blocks
+    # ------------------------------------------------------------------ #
+    def cc_block(self, cc_cls: Type) -> ColumnBlock:
+        """The column block of ``cc_cls``, created on first request.
+
+        The block's columns come from the class's ``table_block_spec``
+        (mapping column name to numpy dtype string).
+        """
+        block = self._blocks.get(cc_cls)
+        if block is None:
+            block = ColumnBlock(cc_cls.table_block_spec, self._capacity)
+            self._blocks[cc_cls] = block
+        return block
+
+    # ------------------------------------------------------------------ #
+    # slot lifecycle
+    # ------------------------------------------------------------------ #
+    def acquire(self, flow, bind: bool = True) -> int:
+        """Give ``flow`` a row slot and initialise its columns.
+
+        Args:
+            flow: the runtime flow (its congestion controller is reached
+                through ``flow.cc``).
+            bind: when True (the SoA core) the flow and its controller
+                become views onto the row — the columns are authoritative
+                until :meth:`release`.  When False (the PR-2 compatibility
+                core) the slot only keys the incidence structure and the
+                feedback delay line; object attributes stay authoritative.
+
+        Returns:
+            The row slot (stable for the flow's lifetime).
+        """
+        if self._free:
+            slot = self._free.pop()
+        else:
+            if self._high_water == self._capacity:
+                self._grow()
+            slot = self._high_water
+            self._high_water += 1
+
+        self._flows[slot] = flow
+        cc_cls = type(flow.cc)
+        self.class_counts[cc_cls] = self.class_counts.get(cc_cls, 0) + 1
+        self.epoch[slot] += 1
+        self.feedback_live[slot] = True
+        self.feedback_tick[slot] = -1
+        flow._slot = slot
+        if bind:
+            flow.bind_table(self, slot)
+            flow.cc.bind_table(self, slot)
+        return slot
+
+    def release(self, flow) -> None:
+        """Return the flow's slot to the free list.
+
+        Bound views are unbound first (final column values are copied back
+        into the objects), and the row's ``feedback_live`` flag is cleared
+        so in-flight feedback lanes addressed to it are dropped.
+        """
+        slot = flow._slot
+        if slot < 0 or self._flows[slot] is not flow:
+            raise ValueError(f"flow {flow!r} does not occupy a table slot")
+        flow.cc.unbind_table()
+        flow.unbind_table()
+        self.feedback_live[slot] = False
+        self._flows[slot] = None
+        cc_cls = type(flow.cc)
+        count = self.class_counts[cc_cls] - 1
+        if count:
+            self.class_counts[cc_cls] = count
+        else:
+            del self.class_counts[cc_cls]
+        self._free.append(slot)
+        flow._slot = -1
+
+    # ------------------------------------------------------------------ #
+    def _grow(self) -> None:
+        new_capacity = self._capacity * 2
+        for name in (
+            "remaining_bytes",
+            "base_rtt_s",
+            "achieved_bps",
+            "disrupted_s",
+            "feedback_live",
+            "feedback_tick",
+            "cc_rate_bps",
+            "feedback_count",
+            "epoch",
+        ):
+            old = getattr(self, name)
+            grown = np.zeros(new_capacity, dtype=old.dtype)
+            grown[: self._capacity] = old
+            if name == "disrupted_s":
+                grown[self._capacity:] = np.nan
+            elif name == "feedback_tick":
+                grown[self._capacity:] = -1
+            setattr(self, name, grown)
+        for block in self._blocks.values():
+            block._grow(new_capacity)
+        self._flows.extend([None] * (new_capacity - self._capacity))
+        self._capacity = new_capacity

@@ -16,12 +16,17 @@ Flows are modelled as fluid: every ``update_interval`` the simulation
 Routing decisions happen exactly once per flow, at arrival time, by walking
 DCI switches hop by hop (see :class:`~repro.simulator.network.RuntimeNetwork`).
 
-Two implementations of the update step exist and are bit-for-bit
-equivalent: a vectorized core (default) that runs steps 1–3 as numpy array
-operations over a CSR-style flow×link incidence structure
-(:mod:`repro.simulator.incidence`), and the original pure-Python scalar
-loop, kept as the executable specification and selected with
-``SimulationConfig(vectorized=False)``.  The equivalence is guarded by
+Three implementations of the update step exist and are bit-for-bit
+equivalent: the structure-of-arrays core (default) that keeps per-flow and
+congestion-control state resident in a :class:`~repro.simulator.flow_table
+.FlowTable` and runs every per-step operation as numpy array math over a
+CSR-style flow×link incidence structure (:mod:`repro.simulator.incidence`);
+the object-resident vectorized core (``SimulationConfig(soa=False)``, the
+PR-2 layout with per-step ``np.fromiter`` gathers and ``.tolist()``
+writebacks, kept as the baseline the high-concurrency benchmark measures
+against); and the original pure-Python scalar loop, kept as the executable
+specification and selected with ``SimulationConfig(vectorized=False)``.
+The equivalence is guarded by
 ``tests/simulator/test_vectorized_equivalence.py``.
 
 A run may additionally carry a :class:`~repro.scenarios.events.Scenario`:
@@ -43,6 +48,7 @@ from .config import SimulationConfig
 from .engine import SimulationEngine
 from .fct import FCTCollector, FlowRecord, IdealFctModel
 from .flow import FeedbackSignal, Flow, FlowDemand
+from .flow_table import FlowTable
 from .incidence import FlowLinkIncidence
 from .link import RuntimeLink
 from .monitor import LinkTrace, QueueMonitor
@@ -54,16 +60,24 @@ __all__ = ["LinkStats", "FlowFailure", "SimulationResult", "FluidSimulation"]
 class _FeedbackGeneration:
     """One update step's worth of in-flight congestion feedback (arrays).
 
-    The vectorized core never materialises per-flow
+    The vectorized cores never materialise per-flow
     :class:`~repro.simulator.flow.FeedbackSignal` objects for the common
     path; each step appends one generation holding the step's signal
     arrays, and lanes are delivered (batched, per congestion-control
     class) once their ``deliver_s`` passes.  ``next_due_s`` caches the
     earliest undelivered lane so idle generations cost one comparison per
     step.
+
+    The SoA core addresses lanes by FlowTable row (``rows``) guarded by
+    the row ``epochs`` captured at enqueue time, so a lane whose row was
+    released (and possibly re-acquired by a newer flow) is dropped; the
+    object-resident legacy core addresses lanes by flow object (``flows``,
+    the PR-2 layout) instead.
     """
 
     __slots__ = (
+        "rows",
+        "epochs",
         "flows",
         "generated_s",
         "deliver_s",
@@ -75,7 +89,9 @@ class _FeedbackGeneration:
         "next_due_s",
     )
 
-    def __init__(self, flows, generated_s, deliver_s, ecn, util, rtt, qd):
+    def __init__(self, generated_s, deliver_s, ecn, util, rtt, qd, rows=None, epochs=None, flows=None):
+        self.rows = rows
+        self.epochs = epochs
         self.flows = flows
         self.generated_s = generated_s
         self.deliver_s = deliver_s
@@ -83,7 +99,7 @@ class _FeedbackGeneration:
         self.util = util
         self.rtt = rtt
         self.qd = qd
-        self.undelivered = np.ones(len(flows), dtype=bool)
+        self.undelivered = np.ones(len(deliver_s), dtype=bool)
         self.next_due_s = float(deliver_s.min())
 
 
@@ -204,7 +220,21 @@ class FluidSimulation:
         self._incidence: Optional[FlowLinkIncidence] = (
             FlowLinkIncidence() if self.config.vectorized else None
         )
+        #: structure-of-arrays per-flow state (vectorized cores only; the
+        #: scalar reference path keeps state on the objects, untouched)
+        self._table: Optional[FlowTable] = (
+            FlowTable() if self.config.vectorized else None
+        )
+        #: SoA core: flows and controllers are *bound* to their table rows
+        #: (columns authoritative); False = object-resident legacy core
+        self._soa = bool(self.config.vectorized and self.config.soa)
+        #: FlowTable rows of the active flows, aligned with ``_active``
+        #: (grown by doubling; ``_n_active`` is the live prefix length)
+        self._rows_arr = np.empty(256, dtype=np.intp)
+        self._n_active = 0
         #: conservative flag: may any active flow still be disrupted?
+        #: (scalar and legacy cores; the SoA core reads the table's
+        #: ``disrupted_s`` column instead)
         self._maybe_disrupted = False
         #: in-flight congestion feedback, one generation per update step
         self._feedback_line: "deque[_FeedbackGeneration]" = deque()
@@ -293,48 +323,75 @@ class FluidSimulation:
         its path recovers, or — when the scenario sets a stranded timeout —
         is explicitly failed and recorded.
         """
-        broken_mask = None
-        if self._incidence is not None and self._active:
-            # vectorized fast path: one reduceat over cached liveness
-            # instead of an O(flows x path) Python sweep per call
-            self._incidence.refresh(self._active)
-            broken_arr = self._incidence.broken_flows()
-            if not broken_arr.any() and not self._maybe_disrupted:
-                return
-            broken_mask = broken_arr.tolist()
-
         stranded_timeout = None
         if self.injector is not None:
             stranded_timeout = self.injector.scenario.stranded_timeout_s
+
+        if self._incidence is not None and self._active:
+            # vectorized fast path: one reduceat over cached liveness
+            # instead of an O(flows x path) Python sweep per call
+            rows = self._active_rows()
+            self._incidence.refresh(rows)
+            broken_arr = self._incidence.broken_flows()
+            if self._soa:
+                # SoA core: only flows that are broken now or were
+                # disrupted before need any Python-level attention —
+                # everything else is covered by two array reductions
+                need = broken_arr | ~np.isnan(self._table.disrupted_s[rows])
+                if not need.any():
+                    return
+                targets = np.flatnonzero(need)
+                flows = [self._active[i] for i in targets.tolist()]
+                broken_l = broken_arr[targets].tolist()
+                for flow, broken in zip(flows, broken_l):
+                    self._revalidate_one(flow, broken, now, stranded_timeout)
+                return
+            # legacy vectorized core (PR-2): full walk gated by the
+            # conservative any-disrupted flag
+            if not broken_arr.any() and not self._maybe_disrupted:
+                return
+            broken_mask = broken_arr.tolist()
+            still_disrupted = False
+            for i, flow in enumerate(list(self._active)):
+                if self._revalidate_one(flow, broken_mask[i], now, stranded_timeout):
+                    still_disrupted = True
+            self._maybe_disrupted = still_disrupted
+            return
+
         still_disrupted = False
-        for i, flow in enumerate(list(self._active)):
-            if broken_mask is not None:
-                broken = broken_mask[i]
-            else:
-                broken = any(not link.up for link in flow.path)
-            if not broken:
-                if flow.disrupted_s is not None:
-                    # the original path healed in place (link recovery)
-                    if self.injector is not None:
-                        self.injector.on_flow_restored(flow, now)
-                    flow.disrupted_s = None
-                continue
-            if flow.disrupted_s is None:
-                flow.disrupted_s = now
-                if self.injector is not None:
-                    self.injector.on_flow_disrupted(flow, now)
-            if self._reroute_flow(flow, now):
-                if self.injector is not None:
-                    self.injector.on_flow_rerouted(flow, now)
-                flow.disrupted_s = None
-            elif (
-                stranded_timeout is not None
-                and now - flow.disrupted_s >= stranded_timeout
-            ):
-                self._fail_flow(flow, now)
-            else:
+        for flow in list(self._active):
+            broken = any(not link.up for link in flow.path)
+            if self._revalidate_one(flow, broken, now, stranded_timeout):
                 still_disrupted = True
         self._maybe_disrupted = still_disrupted
+
+    def _revalidate_one(
+        self, flow: Flow, broken: bool, now: float, stranded_timeout: Optional[float]
+    ) -> bool:
+        """Re-evaluate one flow; returns True while it stays disrupted."""
+        if not broken:
+            if flow.disrupted_s is not None:
+                # the original path healed in place (link recovery)
+                if self.injector is not None:
+                    self.injector.on_flow_restored(flow, now)
+                flow.disrupted_s = None
+            return False
+        if flow.disrupted_s is None:
+            flow.disrupted_s = now
+            if self.injector is not None:
+                self.injector.on_flow_disrupted(flow, now)
+        if self._reroute_flow(flow, now):
+            if self.injector is not None:
+                self.injector.on_flow_rerouted(flow, now)
+            flow.disrupted_s = None
+            return False
+        if (
+            stranded_timeout is not None
+            and now - flow.disrupted_s >= stranded_timeout
+        ):
+            self._fail_flow(flow, now)
+            return False
+        return True
 
     # ------------------------------------------------------------------ #
     # event handlers
@@ -353,11 +410,46 @@ class FluidSimulation:
             line_rate = path[0].cap_bps
             cc = self.cc_factory(line_rate, base_rtt)
             flow = Flow(demand, path, cc, base_rtt)
-            self._active.append(flow)
-            if self._incidence is not None:
-                self._incidence.add_flow(flow)
+            if self._table is not None:
+                row = self._table.acquire(flow, bind=self._soa)
+                self._incidence.set_path(row, flow.path)
+            self._append_active(flow)
 
         return arrive
+
+    # ------------------------------------------------------------------ #
+    # active-set bookkeeping (O(1) append / swap-remove)
+    # ------------------------------------------------------------------ #
+    def _append_active(self, flow: Flow) -> None:
+        flow._active_pos = len(self._active)
+        self._active.append(flow)
+        if self._table is not None:
+            n = self._n_active
+            arr = self._rows_arr
+            if n == len(arr):
+                grown = np.empty(2 * len(arr), dtype=np.intp)
+                grown[:n] = arr
+                self._rows_arr = arr = grown
+            arr[n] = flow._slot
+            self._n_active = n + 1
+
+    def _remove_active(self, flow: Flow) -> None:
+        """O(1) swap-remove from the active list (and the row array)."""
+        pos = flow._active_pos
+        active = self._active
+        last = active[-1]
+        active[pos] = last
+        last._active_pos = pos
+        active.pop()
+        flow._active_pos = -1
+        if self._table is not None:
+            n = self._n_active - 1
+            self._rows_arr[pos] = self._rows_arr[n]
+            self._n_active = n
+
+    def _active_rows(self) -> np.ndarray:
+        """FlowTable rows of the active flows, in active-list order."""
+        return self._rows_arr[: self._n_active]
 
     def _monitor_step(self) -> None:
         self.monitor.sample(self.engine.now)
@@ -366,10 +458,12 @@ class FluidSimulation:
         self.network.tick_all(self.engine.now)
 
     def _update_step(self) -> None:
-        if self._incidence is not None:
+        if self._incidence is None:
+            self._update_step_scalar()
+        elif self._soa:
             self._update_step_vectorized()
         else:
-            self._update_step_scalar()
+            self._update_step_vectorized_legacy()
 
     def _maybe_stop(self) -> None:
         if not self._active and self._pending_arrivals == 0 and not self._stopped:
@@ -379,25 +473,36 @@ class FluidSimulation:
     def _finish_flows(self, finished: List[Flow]) -> None:
         for flow in finished:
             flow._feedback_live = False
-            self._active.remove(flow)
-            if self._incidence is not None:
-                self._incidence.remove_flow(flow)
+            self._remove_active(flow)
+            if self._table is not None:
+                self._incidence.remove_row(flow._slot)
+                # release unbinds the flow/controller views (final column
+                # values are copied back), so the record below and any
+                # later reader see the flow's true final state
+                self._table.release(flow)
             self.collector.record(flow)
 
     def _deliver_feedback_line(self, now: float) -> None:
         """Deliver every due lane of the feedback delay line (vectorized).
 
         Lanes are scanned generation by generation (enqueue order) and
-        handed to the congestion-control class's batched delivery.  A flow
-        normally receives at most one signal per step — one is enqueued
-        per step with a fixed RTT offset — and the rare exception (an
+        handed to the congestion-control class's batched delivery.  The
+        SoA core addresses lanes by FlowTable row: liveness, the slot-reuse
+        epoch guard and the repeated-delivery tick check are all column
+        reductions, and a uniform fleet is delivered through the class's
+        in-place ``feedback_batch_slots``.  The legacy core walks lane
+        flows object by object (the PR-2 layout).  A flow normally
+        receives at most one signal per step — one is enqueued per step
+        with a fixed RTT offset — and the rare exception (an
         RTT-shortening re-route makes several due at once) falls back to
         sequential per-flow delivery sorted by deliver time, which is
         exactly the scalar path's order.
         """
         tick = self._update_tick
         line = self._feedback_line
-        batches: List[Tuple[_FeedbackGeneration, list, list]] = []
+        soa = self._soa
+        table = self._table
+        batches: List[Tuple[_FeedbackGeneration, object, object]] = []
         repeated = False
         for gen in line:
             if gen.next_due_s > now:
@@ -406,21 +511,35 @@ class FluidSimulation:
             lanes = np.flatnonzero(due)
             if lanes.size:
                 gen.undelivered[lanes] = False
-                flows = gen.flows
-                ccs: list = []
-                kept: list = []
-                for j in lanes.tolist():
-                    flow = flows[j]
-                    if not flow._feedback_live:
-                        continue
-                    if flow._feedback_tick == tick:
-                        repeated = True
-                    else:
-                        flow._feedback_tick = tick
-                    ccs.append(flow.cc)
-                    kept.append(j)
-                if ccs:
-                    batches.append((gen, ccs, kept))
+                if soa:
+                    rows = gen.rows[lanes]
+                    valid = table.feedback_live[rows] & (
+                        table.epoch[rows] == gen.epochs[lanes]
+                    )
+                    if not valid.all():
+                        rows = rows[valid]
+                        lanes = lanes[valid]
+                    if rows.size:
+                        if (table.feedback_tick[rows] == tick).any():
+                            repeated = True
+                        table.feedback_tick[rows] = tick
+                        batches.append((gen, rows, lanes))
+                else:
+                    flows = gen.flows
+                    ccs: list = []
+                    kept: list = []
+                    for j in lanes.tolist():
+                        flow = flows[j]
+                        if not flow._feedback_live:
+                            continue
+                        if flow._feedback_tick == tick:
+                            repeated = True
+                        else:
+                            flow._feedback_tick = tick
+                        ccs.append(flow.cc)
+                        kept.append(j)
+                    if ccs:
+                        batches.append((gen, ccs, kept))
             remaining_lanes = gen.undelivered
             if remaining_lanes.any():
                 gen.next_due_s = float(gen.deliver_s[remaining_lanes].min())
@@ -434,43 +553,70 @@ class FluidSimulation:
         if repeated:
             self._deliver_repeated(batches, now)
             return
-        for gen, ccs, kept in batches:
-            cc_cls = type(ccs[0])
-            kidx = np.array(kept, dtype=np.intp)
-            if all(type(cc) is cc_cls for cc in ccs):
-                cc_cls.feedback_batch(
-                    ccs,
-                    gen.generated_s,
-                    gen.ecn[kidx],
-                    gen.util[kidx],
-                    gen.rtt[kidx],
-                    gen.qd[kidx],
-                    now,
-                )
-            else:
-                ecn_l = gen.ecn[kidx].tolist()
-                util_l = gen.util[kidx].tolist()
-                rtt_l = gen.rtt[kidx].tolist()
-                qd_l = gen.qd[kidx].tolist()
-                for k, cc in enumerate(ccs):
-                    cc.on_feedback(
-                        FeedbackSignal(
-                            gen.generated_s, ecn_l[k], util_l[k], rtt_l[k], qd_l[k]
-                        ),
+        if soa:
+            counts = table.class_counts
+            single_cls = next(iter(counts)) if len(counts) == 1 else None
+            for gen, rows, lanes in batches:
+                if single_cls is not None:
+                    single_cls.feedback_batch_slots(
+                        table,
+                        rows,
+                        gen.generated_s,
+                        gen.ecn[lanes],
+                        gen.util[lanes],
+                        gen.rtt[lanes],
+                        gen.qd[lanes],
                         now,
                     )
+                else:
+                    ccs = [table.flow_at(r).cc for r in rows.tolist()]
+                    self._deliver_object_batch(gen, ccs, lanes, now)
+            return
+        for gen, ccs, kept in batches:
+            self._deliver_object_batch(gen, ccs, np.array(kept, dtype=np.intp), now)
+
+    def _deliver_object_batch(self, gen, ccs, kidx, now: float) -> None:
+        """Per-object batched delivery (legacy core / mixed fleets)."""
+        cc_cls = type(ccs[0])
+        if all(type(cc) is cc_cls for cc in ccs):
+            cc_cls.feedback_batch(
+                ccs,
+                gen.generated_s,
+                gen.ecn[kidx],
+                gen.util[kidx],
+                gen.rtt[kidx],
+                gen.qd[kidx],
+                now,
+            )
+        else:
+            ecn_l = gen.ecn[kidx].tolist()
+            util_l = gen.util[kidx].tolist()
+            rtt_l = gen.rtt[kidx].tolist()
+            qd_l = gen.qd[kidx].tolist()
+            for k, cc in enumerate(ccs):
+                cc.on_feedback(
+                    FeedbackSignal(
+                        gen.generated_s, ecn_l[k], util_l[k], rtt_l[k], qd_l[k]
+                    ),
+                    now,
+                )
 
     def _deliver_repeated(self, batches, now: float) -> None:
         """Slow path: some flow has several signals due in one step."""
         by_flow: Dict[int, list] = {}
-        for gen, ccs, kept in batches:
-            deliver_l = gen.deliver_s[kept].tolist()
-            ecn_l = gen.ecn[kept].tolist()
-            util_l = gen.util[kept].tolist()
-            rtt_l = gen.rtt[kept].tolist()
-            qd_l = gen.qd[kept].tolist()
-            for k, j in enumerate(kept):
-                flow = gen.flows[j]
+        for gen, payload, lanes in batches:
+            if self._soa:
+                idxs = lanes.tolist()
+                flows = [self._table.flow_at(r) for r in payload.tolist()]
+            else:
+                idxs = list(lanes)
+                flows = [gen.flows[j] for j in idxs]
+            deliver_l = gen.deliver_s[idxs].tolist()
+            ecn_l = gen.ecn[idxs].tolist()
+            util_l = gen.util[idxs].tolist()
+            rtt_l = gen.rtt[idxs].tolist()
+            qd_l = gen.qd[idxs].tolist()
+            for k, flow in enumerate(flows):
                 by_flow.setdefault(id(flow), []).append(
                     (
                         deliver_l[k],
@@ -539,12 +685,16 @@ class FluidSimulation:
         self._maybe_stop()
 
     def _update_step_vectorized(self) -> None:
-        """Steps 1–3 as array operations over the flow×link incidence.
+        """The SoA core: every per-step operation is array math.
 
         Mirrors :meth:`_update_step_scalar` operation for operation — the
         accumulation / reduction orders match the scalar loops, so queue
         state, feedback signals and FCTs come out bit-identical (guarded
-        by ``tests/simulator/test_vectorized_equivalence.py``).
+        by ``tests/simulator/test_vectorized_equivalence.py``).  Unlike
+        the legacy core below, per-flow state is read and written directly
+        in :class:`~repro.simulator.flow_table.FlowTable` columns — the
+        step performs no per-flow Python work at all outside the rare
+        completion / repeated-feedback paths.
         """
         now = self.engine.now
         dt = self.config.update_interval_s
@@ -561,16 +711,15 @@ class FluidSimulation:
             return
 
         inc = self._incidence
-        inc.refresh(active)
-        num_flows = len(active)
+        table = self._table
+        rows = self._active_rows()
+        inc.refresh(rows)
         idx, starts = inc.idx, inc.starts
         cap, up = inc.cap_bps, inc.up
 
         # 1. offered load per link: flow-major scatter-add, which keeps the
         # per-link accumulation order identical to the scalar dict loop
-        rates = np.fromiter(
-            (flow.cc.rate_bps for flow in active), dtype=np.float64, count=num_flows
-        )
+        rates = table.cc_rate_bps[rows]
         offered = np.zeros(inc.num_links)
         np.add.at(offered, idx, np.repeat(rates, inc.lengths))
 
@@ -606,9 +755,7 @@ class FluidSimulation:
         factor = np.minimum.reduceat(scale[idx], starts)
         achieved = rates * factor
         want = achieved * dt / 8.0
-        before = np.fromiter(
-            (flow.remaining_bytes for flow in active), dtype=np.float64, count=num_flows
-        )
+        before = table.remaining_bytes[rows]
         remaining = before - np.minimum(want, before)
 
         # 4. congestion feedback from the same arrays (post-integration
@@ -628,19 +775,164 @@ class FluidSimulation:
         max_util = np.maximum.reduceat(util[idx], starts)
 
         queue_delay = np.add.reduceat((q * 8.0 / cap)[idx], starts)
+        base_rtt = table.base_rtt_s[rows]
+        rtt = base_rtt + queue_delay
+
+        # 5. this step's feedback goes into the array delay line (lanes
+        # addressed by table row + epoch), per-flow progress is scattered
+        # straight into the table columns, then everything due anywhere in
+        # the line is delivered; controllers are per-flow and mutually
+        # independent, so delivering all due feedback and then advancing
+        # all controllers preserves the scalar loop's per-flow
+        # (enqueue -> deliver -> interval) order
+        self._feedback_line.append(
+            _FeedbackGeneration(
+                now,
+                now + base_rtt,
+                ecn_fraction,
+                max_util,
+                rtt,
+                queue_delay,
+                rows=rows.copy(),
+                epochs=table.epoch[rows],
+            )
+        )
+        table.achieved_bps[rows] = achieved
+        table.remaining_bytes[rows] = remaining
+        self._deliver_feedback_line(now)
+
+        counts = table.class_counts
+        if len(counts) == 1:
+            (cc_cls,) = counts
+            cc_cls.advance_batch_slots(table, rows, dt, now)
+        else:
+            for flow in active:
+                flow.cc.on_interval(dt, now)
+
+        # 6. completions (mark_finished touches no controller state, so
+        # running it after the CC advance matches the scalar outcome)
+        finished: List[Flow] = []
+        completed_idx = np.flatnonzero(remaining <= 0.0)
+        if completed_idx.size:
+            want_l = want[completed_idx].tolist()
+            before_l = before[completed_idx].tolist()
+            for k, i in enumerate(completed_idx.tolist()):
+                flow = active[i]
+                would_send = want_l[k]
+                fraction = before_l[k] / would_send if would_send > 0 else 1.0
+                fraction = min(1.0, max(0.0, fraction))
+                flow.mark_finished(now + fraction * dt)
+                finished.append(flow)
+
+        self._finish_flows(finished)
+        # the queue monitor, link traces and scenario events read inter-DC
+        # link objects between steps
+        inc.sync_inter_dc()
+        self._maybe_stop()
+
+    def _update_step_vectorized_legacy(self) -> None:
+        """The PR-2 object-resident vectorized core (``soa=False``).
+
+        Kept verbatim as the measured baseline of the high-concurrency
+        step-throughput benchmark: the array math is the same as the SoA
+        core's, but per-flow state lives in Python objects, so every step
+        crosses the Python↔numpy boundary O(flows) times (``np.fromiter``
+        gathers, ``.tolist()`` writeback loops, per-object controller
+        batches).  Bit-for-bit identical to both other cores.
+        """
+        now = self.engine.now
+        dt = self.config.update_interval_s
+        self._update_tick += 1
+        if not self._active:
+            self._maybe_stop()
+            return
+
+        # 0. lazy fast-failover sweep (may reroute / fail flows)
+        self.revalidate_flows(now)
+        active = self._active
+        if not active:
+            self._maybe_stop()
+            return
+
+        inc = self._incidence
+        inc.refresh(self._active_rows())
+        num_flows = len(active)
+        idx, starts = inc.idx, inc.starts
+        cap, up = inc.cap_bps, inc.up
+
+        # 1. offered load per link (object gather, PR-2 layout)
+        rates = np.fromiter(
+            (flow.cc.rate_bps for flow in active), dtype=np.float64, count=num_flows
+        )
+        offered = np.zeros(inc.num_links)
+        np.add.at(offered, idx, np.repeat(rates, inc.lengths))
+
+        # 2. queue integration + per-link scaling factor
+        act = inc.active_slots
+        queue, peak, carried, dropped, _ = RuntimeLink.integrate_batch(
+            offered[act],
+            dt,
+            cap[act],
+            up[act],
+            inc.buffer_bytes[act],
+            inc.queue_bytes[act],
+            inc.peak_queue_bytes[act],
+            inc.carried_bytes[act],
+            inc.dropped_bytes[act],
+        )
+        inc.queue_bytes[act] = queue
+        inc.peak_queue_bytes[act] = peak
+        inc.carried_bytes[act] = carried
+        inc.dropped_bytes[act] = dropped
+        inc.offered_bps[act] = offered[act]
+
+        loaded = offered > 0
+        ratio = np.zeros(inc.num_links)
+        np.divide(cap, offered, out=ratio, where=loaded)
+        scale = np.where(
+            ~up, 0.0, np.where(loaded, np.minimum(1.0, ratio), 1.0)
+        )
+
+        # 3. per-flow achieved rate: min scale across the path
+        factor = np.minimum.reduceat(scale[idx], starts)
+        achieved = rates * factor
+        want = achieved * dt / 8.0
+        before = np.fromiter(
+            (flow.remaining_bytes for flow in active), dtype=np.float64, count=num_flows
+        )
+        remaining = before - np.minimum(want, before)
+
+        # 4. congestion feedback from the same arrays
+        q = inc.queue_bytes
+        span = inc.ecn_kmax - inc.ecn_kmin
+        mark = np.zeros(inc.num_links)
+        np.divide(
+            inc.ecn_pmax * (q - inc.ecn_kmin), span, out=mark, where=span > 0
+        )
+        mark = np.where(q <= inc.ecn_kmin, 0.0, np.where(q >= inc.ecn_kmax, 1.0, mark))
+        ecn_fraction = 1.0 - np.multiply.reduceat((1.0 - mark)[idx], starts)
+
+        util = np.zeros(inc.num_links)
+        np.divide(offered, cap, out=util, where=cap > 0)
+        max_util = np.maximum.reduceat(util[idx], starts)
+
+        queue_delay = np.add.reduceat((q * 8.0 / cap)[idx], starts)
         base_rtt = np.fromiter(
             (flow.base_rtt_s for flow in active), dtype=np.float64, count=num_flows
         )
         rtt = base_rtt + queue_delay
 
-        # 5. this step's feedback goes into the array delay line, then
-        # everything due anywhere in the line is delivered; controllers
-        # are per-flow and mutually independent, so delivering all due
-        # feedback and then advancing all controllers preserves the
-        # scalar loop's per-flow (enqueue -> deliver -> interval) order
+        # 5. feedback into the delay line (lanes keyed by flow object),
+        # per-flow writeback loops, delivery, controller advance
         self._feedback_line.append(
             _FeedbackGeneration(
-                list(active), now, now + base_rtt, ecn_fraction, max_util, rtt, queue_delay
+                now,
+                now + base_rtt,
+                ecn_fraction,
+                max_util,
+                rtt,
+                queue_delay,
+                flows=list(active),
             )
         )
         achieved_l = achieved.tolist()
@@ -658,8 +950,7 @@ class FluidSimulation:
             for cc in controllers:
                 cc.on_interval(dt, now)
 
-        # 6. completions (mark_finished touches no controller state, so
-        # running it after the CC advance matches the scalar outcome)
+        # 6. completions
         finished: List[Flow] = []
         completed_idx = np.flatnonzero(remaining <= 0.0)
         if completed_idx.size:
@@ -705,9 +996,10 @@ class FluidSimulation:
     def _fail_flow(self, flow: Flow, now: float) -> None:
         """Explicitly fail a flow stranded on a dead path past the timeout."""
         flow._feedback_live = False
-        self._active.remove(flow)
-        if self._incidence is not None:
-            self._incidence.remove_flow(flow)
+        self._remove_active(flow)
+        if self._table is not None:
+            self._incidence.remove_row(flow._slot)
+            self._table.release(flow)
         self._failed.append(
             FlowFailure(
                 flow_id=flow.flow_id,

@@ -9,7 +9,8 @@ index structure over numpy arrays:
   static per-link attributes (buffer size, ECN thresholds) live in parallel
   arrays indexed by slot;
 * a **per-flow index array**: each flow caches the registry slots of its
-  path links, computed once at arrival (or re-route) time;
+  path links, computed once at arrival (or re-route) time and keyed by the
+  flow's :class:`~repro.simulator.flow_table.FlowTable` row slot;
 * a **concatenated view**: the per-flow arrays concatenated in active-flow
   order (``idx``), plus segment ``starts``/``lengths`` — exactly the layout
   ``np.add.at`` / ``np.minimum.reduceat`` / ``np.multiply.reduceat`` want.
@@ -31,7 +32,7 @@ contract and the scalar-vs-vector equivalence guarantee.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -69,8 +70,8 @@ class FlowLinkIncidence:
         self.cap_bps = np.empty(0)
         self.up = np.empty(0, dtype=bool)
         self._seen_state_version = -1
-        # --- per-flow structure ---
-        self._flow_idx: Dict[object, np.ndarray] = {}
+        # --- per-flow structure, indexed by FlowTable row slot ---
+        self._paths: List[Optional[np.ndarray]] = []
         # concatenated CSR view over the active flows
         self.idx = np.empty(0, dtype=np.intp)
         self.starts = np.empty(0, dtype=np.intp)
@@ -141,29 +142,39 @@ class FlowLinkIncidence:
         self._seen_state_version = RuntimeLink.state_version
 
     # ------------------------------------------------------------------ #
-    # flow membership
+    # flow membership (keyed by FlowTable row slot)
     # ------------------------------------------------------------------ #
-    def add_flow(self, flow) -> None:
-        """Register a newly arrived flow's path."""
-        self._flow_idx[flow] = np.array(
-            [self._slot(link) for link in flow.path], dtype=np.intp
+    def set_path(self, row: int, path: Sequence[RuntimeLink]) -> None:
+        """(Re-)index the path of the flow occupying FlowTable row ``row``.
+
+        Called at arrival time and after every re-route.
+        """
+        if row >= len(self._paths):
+            self._paths.extend([None] * (row + 1 - len(self._paths)))
+        self._paths[row] = np.array(
+            [self._slot(link) for link in path], dtype=np.intp
         )
         self._membership_dirty = True
 
     def update_flow_path(self, flow) -> None:
         """Re-index a flow after a re-route changed its path."""
-        self.add_flow(flow)
+        self.set_path(flow._slot, flow.path)
 
-    def remove_flow(self, flow) -> None:
-        """Drop a finished or failed flow."""
-        self._flow_idx.pop(flow, None)
+    def remove_row(self, row: int) -> None:
+        """Drop the path of a finished or failed flow's row."""
+        if row < len(self._paths):
+            self._paths[row] = None
         self._membership_dirty = True
 
     # ------------------------------------------------------------------ #
     # refresh
     # ------------------------------------------------------------------ #
-    def refresh(self, active: Sequence[object]) -> None:
-        """Bring every cached array up to date for the given active flows.
+    def refresh(self, active_rows: np.ndarray) -> None:
+        """Bring every cached array up to date for the given active rows.
+
+        Args:
+            active_rows: FlowTable row slots of the active flows, in
+                active-list order (the CSR segment order).
 
         Cheap when nothing changed: two flag checks and one integer
         comparison against :attr:`RuntimeLink.state_version`.
@@ -171,8 +182,9 @@ class FlowLinkIncidence:
         if self._registry_dirty:
             self._refresh_registry()
         if self._membership_dirty:
-            if active:
-                per_flow = [self._flow_idx[flow] for flow in active]
+            if len(active_rows):
+                paths = self._paths
+                per_flow = [paths[row] for row in active_rows.tolist()]
                 self.lengths = np.fromiter(
                     (len(a) for a in per_flow), dtype=np.intp, count=len(per_flow)
                 )

@@ -75,6 +75,15 @@ class RuntimeNetwork:
             self._switches[dc] = switch
 
         self._host_links: Dict[Tuple[str, int, str], RuntimeLink] = {}
+        #: cache of shortest-delay fallback remainders keyed by
+        #: ``(current, dst)``.  ``resolve_path`` hits the fallback once per
+        #: stranded flow per update step during an outage; recomputing
+        #: Dijkstra each time made re-route sweeps O(flows x topology).
+        #: Invalidated whenever :attr:`RuntimeLink.state_version` moves
+        #: (fault injection / capacity events), mirroring the vectorized
+        #: core's liveness-array cache.
+        self._fallback_cache: Dict[Tuple[str, str], object] = {}
+        self._fallback_seen_version = RuntimeLink.state_version
 
     # ------------------------------------------------------------------ #
     # accessors
@@ -200,7 +209,7 @@ class RuntimeNetwork:
             else:
                 # no loop-free candidate left: commit to the shortest-delay
                 # remainder computed over the static topology
-                remainder = shortest_delay_path(self.topology, current, dst)
+                remainder = self._fallback_remainder(current, dst)
                 if remainder is None:
                     raise RoutingLoopError(
                         f"flow {demand.flow_id}: no route from {current} to {dst}"
@@ -216,6 +225,19 @@ class RuntimeNetwork:
             f"flow {demand.flow_id}: exceeded {_MAX_RESOLVE_HOPS} DCI hops "
             f"resolving {demand.src_dc}->{demand.dst_dc}"
         )
+
+    def _fallback_remainder(self, current: str, dst: str):
+        """Cached shortest-delay remainder for the candidate-less fallback."""
+        if self._fallback_seen_version != RuntimeLink.state_version:
+            self._fallback_cache.clear()
+            self._fallback_seen_version = RuntimeLink.state_version
+        key = (current, dst)
+        try:
+            return self._fallback_cache[key]
+        except KeyError:
+            remainder = shortest_delay_path(self.topology, current, dst)
+            self._fallback_cache[key] = remainder
+            return remainder
 
     # ------------------------------------------------------------------ #
     # telemetry helpers

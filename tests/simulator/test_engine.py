@@ -41,6 +41,48 @@ class TestEventQueue:
         event.cancel()
         assert q.peek_time() == 5.0
 
+    def test_live_counter_tracks_push_pop_cancel(self):
+        """len()/bool() come from an O(1) counter, kept exact through any
+        push/pop/cancel interleaving (including double-cancel and
+        cancel-after-pop)."""
+        q = EventQueue()
+        assert len(q) == 0 and not q
+        events = [q.push(float(i), lambda: None) for i in range(5)]
+        assert len(q) == 5 and q
+        events[1].cancel()
+        events[1].cancel()  # idempotent
+        assert len(q) == 4
+        popped = q.pop()
+        assert popped is events[0]
+        assert len(q) == 3
+        popped.cancel()  # cancelling a popped event must not re-decrement
+        assert len(q) == 3
+        events[2].cancel()
+        events[3].cancel()
+        events[4].cancel()
+        assert len(q) == 0 and not q
+        assert q.pop() is None
+        assert len(q) == 0
+
+    def test_live_counter_matches_brute_force_sweep(self):
+        import random
+
+        rng = random.Random(7)
+        q = EventQueue()
+        handles = []
+        for _ in range(500):
+            action = rng.random()
+            if action < 0.5 or not handles:
+                handles.append(q.push(rng.random() * 100, lambda: None))
+            elif action < 0.75:
+                rng.choice(handles).cancel()
+            else:
+                event = q.pop()
+                if event is not None and event in handles:
+                    handles.remove(event)
+            expected = sum(1 for e in q._heap if not e.cancelled)
+            assert len(q) == expected
+
 
 class TestEngine:
     def test_events_fire_in_time_order(self):

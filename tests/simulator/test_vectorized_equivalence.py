@@ -1,12 +1,15 @@
-"""Scalar-vs-vectorized equivalence: the core guarantee of the numpy path.
+"""Scalar-vs-vectorized equivalence: the core guarantee of the numpy paths.
 
-``SimulationConfig(vectorized=True)`` (the default) must produce *bit-for-
-bit* identical results to the pure-Python scalar update loop on the same
-seed: every FCT record field, every link statistic, every scenario recovery
-metric.  These tests run both paths on identical inputs — static runs and
-scenario runs exercising mid-run reroutes, capacity changes, refcounted
-link-down windows, surges and stranded-flow failures — and compare
-everything the simulation reports.
+Both vectorized cores — the structure-of-arrays FlowTable core
+(``SimulationConfig(vectorized=True)``, the default) and the object-resident
+legacy core (``soa=False``, the PR-2 layout kept as the benchmark baseline)
+— must produce *bit-for-bit* identical results to the pure-Python scalar
+update loop on the same seed: every FCT record field, every link statistic,
+every scenario recovery metric.  These tests run the paths on identical
+inputs — static runs, scenario runs exercising mid-run reroutes, capacity
+changes, refcounted link-down windows, surges and stranded-flow failures,
+and a high-concurrency (≥1500 flows) run with mid-run reroutes that forces
+FlowTable slot churn — and compare everything the simulation reports.
 """
 
 from __future__ import annotations
@@ -20,15 +23,16 @@ from repro.routing import make_router_factory
 from repro.scenarios import get_scenario
 from repro.scenarios.events import CapacityChange, LinkDown, LinkUp, Scenario, TrafficSurge
 from repro.simulator import FluidSimulation, RuntimeNetwork, SimulationConfig
+from repro.simulator.flow import FlowDemand
 from repro.topology import build_testbed8
 from repro.topology import testbed8_pathset as _testbed8_pathset
 from repro.workloads import TrafficConfig, TrafficGenerator
 
 
-def run_sim(vectorized, scenario=None, cc="dcqcn", num_flows=160, trace_links=False):
+def run_sim(vectorized, scenario=None, cc="dcqcn", num_flows=160, trace_links=False, soa=True):
     topology = build_testbed8(capacity_scale=0.1)
     paths = _testbed8_pathset(topology)
-    config = SimulationConfig(seed=7, vectorized=vectorized)
+    config = SimulationConfig(seed=7, vectorized=vectorized, soa=soa)
     traffic = TrafficConfig(
         workload="websearch",
         load=0.35,
@@ -86,6 +90,15 @@ class TestStaticEquivalence:
         vector = run_sim(vectorized=True)
         assert_results_identical(scalar, vector)
 
+    def test_legacy_core_bitwise_identical(self):
+        """The object-resident PR-2 core (``soa=False``) stays equivalent
+        to both the scalar spec and the SoA core."""
+        scalar = run_sim(vectorized=False)
+        legacy = run_sim(vectorized=True, soa=False)
+        soa = run_sim(vectorized=True, soa=True)
+        assert_results_identical(scalar, legacy)
+        assert_results_identical(legacy, soa)
+
     @pytest.mark.parametrize("cc", ["dcqcn", "hpcc", "timely", "dctcp"])
     def test_every_congestion_control(self, cc):
         scalar = run_sim(vectorized=False, cc=cc, num_flows=80)
@@ -116,6 +129,13 @@ class TestScenarioEquivalence:
         assert_results_identical(scalar, vector)
         assert_scenario_metrics_identical(scalar, vector)
 
+    @pytest.mark.parametrize("name", ["single-link-cut", "diurnal-surge"])
+    def test_canned_scenarios_legacy_core(self, name):
+        legacy = run_sim(vectorized=True, soa=False, scenario=get_scenario(name))
+        soa = run_sim(vectorized=True, soa=True, scenario=get_scenario(name))
+        assert_results_identical(legacy, soa)
+        assert_scenario_metrics_identical(legacy, soa)
+
     def test_overlapping_faults_and_capacity_events(self):
         # an explicit cut overlapping a brownout plus a surge: exercises
         # refcounted down-causes, capacity_factor changes and injected
@@ -142,3 +162,72 @@ class TestScenarioEquivalence:
         vector = run_sim(vectorized=True, scenario=scenario)
         assert_results_identical(scalar, vector)
         assert_scenario_metrics_identical(scalar, vector)
+
+
+class TestHighConcurrencyEquivalence:
+    """≥1500 concurrent flows with mid-run reroutes: the SoA acceptance
+    case.  Sustained concurrency at this scale plus a link-down/link-up
+    window exercises FlowTable slot churn, the slot-keyed feedback delay
+    line, the epoch guard and the flatnonzero-based re-validation sweep —
+    and the result must still be bit-for-bit identical across all three
+    update cores."""
+
+    NUM_FLOWS = 1500
+    WINDOW_S = 0.08
+
+    def run_high_concurrency(self, vectorized, soa=True):
+        topology = build_testbed8(capacity_scale=0.1)
+        paths = _testbed8_pathset(topology)
+        hosts = topology.host_groups["DC1"].count
+        demands = [
+            FlowDemand(
+                flow_id=i,
+                src_dc="DC1" if i % 2 == 0 else "DC8",
+                dst_dc="DC8" if i % 2 == 0 else "DC1",
+                src_host=i % hosts,
+                dst_host=(i * 7 + 1) % hosts,
+                # mixed sizes so a share of flows completes inside the
+                # window (slot reuse) while most sustain the concurrency
+                size_bytes=60_000 if i % 5 == 0 else 20_000_000,
+                arrival_s=0.001 * (i % 10) + 1e-4,
+            )
+            for i in range(self.NUM_FLOWS)
+        ]
+        scenario = Scenario(
+            name="hc-reroute",
+            events=(
+                LinkDown(0.02, "DC1", "DC7"),
+                LinkUp(0.055, "DC1", "DC7"),
+            ),
+        )
+        config = SimulationConfig(
+            seed=11,
+            vectorized=vectorized,
+            soa=soa,
+            max_sim_time_s=self.WINDOW_S,
+            drain_timeout_s=self.WINDOW_S,
+        )
+        network = RuntimeNetwork(topology, paths, make_router_factory("ecmp"), config)
+        sim = FluidSimulation(
+            network, demands, make_cc_factory("dcqcn"), config, scenario=scenario
+        )
+        return sim.run()
+
+    def test_all_three_cores_bitwise_identical(self):
+        scalar = self.run_high_concurrency(vectorized=False)
+        legacy = self.run_high_concurrency(vectorized=True, soa=False)
+        soa = self.run_high_concurrency(vectorized=True, soa=True)
+        # the run is cut at the window, so some flows must still be live
+        # (sustained concurrency) and some must have finished (slot churn)
+        assert soa.unfinished_flows > 1000
+        assert len(soa.records) > 100
+        assert soa.scenario_metrics.total_disrupted > 0
+        assert (
+            soa.scenario_metrics.total_rerouted
+            + soa.scenario_metrics.total_restored
+            > 0
+        )
+        assert_results_identical(scalar, legacy)
+        assert_results_identical(scalar, soa)
+        assert_scenario_metrics_identical(scalar, soa)
+        assert_scenario_metrics_identical(legacy, soa)
