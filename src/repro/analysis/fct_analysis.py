@@ -6,12 +6,18 @@ FCT slowdown as a function of flow size (10 kB … 10 MB+ on a log axis).
 percentiles per bin; :func:`compare` lines up several profiles (one per
 routing algorithm) and :func:`reduction` computes the "LCMP reduces … by X %"
 numbers quoted in the text.
+
+Profiles build straight from metric columns: :meth:`SlowdownProfile
+.from_result` reads the run's :class:`~repro.simulator.fct.MetricsStore`
+arrays (no per-flow record objects), :meth:`SlowdownProfile.from_arrays` is
+the raw-column entry point, and :meth:`SlowdownProfile.from_records` remains
+for record lists (it extracts the columns and delegates).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -83,7 +89,7 @@ class SlowdownProfile:
         records: Sequence[FlowRecord],
         size_bins: Sequence[float] = DEFAULT_SIZE_BINS,
     ) -> "SlowdownProfile":
-        """Build a profile from flow records.
+        """Build a profile from flow records (column extraction + delegate).
 
         Args:
             name: label (typically the routing algorithm).
@@ -93,14 +99,66 @@ class SlowdownProfile:
         Raises:
             ValueError: when ``records`` is empty or bins are not increasing.
         """
-        if not records:
+        slowdowns = np.array([r.slowdown for r in records], dtype=float)
+        sizes = np.array([r.size_bytes for r in records], dtype=float)
+        return cls.from_arrays(name, sizes, slowdowns, size_bins)
+
+    @classmethod
+    def from_result(
+        cls,
+        name: str,
+        result,
+        mask: Optional[np.ndarray] = None,
+        size_bins: Sequence[float] = DEFAULT_SIZE_BINS,
+    ) -> "SlowdownProfile":
+        """Build a profile straight from a simulation result's metric columns.
+
+        Args:
+            name: label (typically the routing algorithm).
+            result: a :class:`~repro.simulator.fluid.SimulationResult`; its
+                :class:`~repro.simulator.fct.MetricsStore` columns are used
+                when present (no record materialisation), falling back to
+                the records view otherwise.
+            mask: optional boolean row mask (e.g. a DC-pair restriction).
+            size_bins: increasing bin edges in bytes.
+        """
+        store = getattr(result, "store", None)
+        if store is not None and not result.records_overridden:
+            sizes = store.sizes().astype(float)
+            slowdowns = store.slowdowns()
+        else:
+            records = result.records
+            sizes = np.array([r.size_bytes for r in records], dtype=float)
+            slowdowns = np.array([r.slowdown for r in records], dtype=float)
+        if mask is not None:
+            sizes = sizes[mask]
+            slowdowns = slowdowns[mask]
+        return cls.from_arrays(name, sizes, slowdowns, size_bins)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        name: str,
+        sizes: np.ndarray,
+        slowdowns: np.ndarray,
+        size_bins: Sequence[float] = DEFAULT_SIZE_BINS,
+    ) -> "SlowdownProfile":
+        """Build a profile from raw size/slowdown columns.
+
+        Args:
+            name: label (typically the routing algorithm).
+            sizes: flow sizes in bytes (one element per completed flow).
+            slowdowns: FCT slowdowns, aligned with ``sizes``.
+            size_bins: increasing bin edges in bytes.
+
+        Raises:
+            ValueError: when the columns are empty or bins not increasing.
+        """
+        if len(sizes) == 0:
             raise ValueError("cannot build a slowdown profile from zero records")
         edges = list(size_bins)
         if sorted(edges) != edges or len(edges) < 2:
             raise ValueError("size_bins must be increasing with >= 2 edges")
-
-        slowdowns = np.array([r.slowdown for r in records], dtype=float)
-        sizes = np.array([r.size_bytes for r in records], dtype=float)
 
         bins: List[BinStats] = []
         for lo, hi in zip(edges[:-1], edges[1:]):
@@ -124,7 +182,7 @@ class SlowdownProfile:
             overall_p50=float(np.percentile(slowdowns, 50)),
             overall_p99=float(np.percentile(slowdowns, 99)),
             overall_mean=float(slowdowns.mean()),
-            total_flows=len(records),
+            total_flows=len(slowdowns),
         )
 
     # ------------------------------------------------------------------ #

@@ -61,11 +61,13 @@ class EventImpact:
     slowdown_delta: Optional[float]
 
 
-def _window_p50(result: SimulationResult, lo: float, hi: float) -> Optional[float]:
-    slowdowns = [r.slowdown for r in result.records if lo <= r.arrival_s < hi]
-    if not slowdowns:
+def _window_p50(
+    arrivals: np.ndarray, slowdowns: np.ndarray, lo: float, hi: float
+) -> Optional[float]:
+    selected = slowdowns[(arrivals >= lo) & (arrivals < hi)]
+    if selected.size == 0:
         return None
-    return float(np.percentile(slowdowns, 50))
+    return float(np.percentile(selected, 50))
 
 
 def event_impacts(result: SimulationResult, window_s: float = 0.5) -> List[EventImpact]:
@@ -85,13 +87,16 @@ def event_impacts(result: SimulationResult, window_s: float = 0.5) -> List[Event
     if window_s <= 0:
         raise ValueError("window_s must be positive")
 
+    # one column fetch serves every event window (no record objects built)
+    arrivals, slowdowns = result.arrival_slowdown_columns()
+
     impacts: List[EventImpact] = []
     for outcome in result.scenario_metrics.outcomes:
         if outcome.applied_s is None:
             continue  # the run ended before this event fired
         at = outcome.applied_s
-        pre = _window_p50(result, at - window_s, at)
-        post = _window_p50(result, at, at + window_s)
+        pre = _window_p50(arrivals, slowdowns, at - window_s, at)
+        post = _window_p50(arrivals, slowdowns, at, at + window_s)
         delta = (post - pre) if pre is not None and post is not None else None
         impacts.append(
             EventImpact(
@@ -126,15 +131,13 @@ def slowdown_timeline(
     """
     if bucket_s <= 0:
         raise ValueError("bucket_s must be positive")
-    if not result.records:
+    arrivals, slowdowns = result.arrival_slowdown_columns()
+    if arrivals.size == 0:
         return []
-    buckets = {}
-    for record in result.records:
-        start = int(record.arrival_s / bucket_s) * bucket_s
-        buckets.setdefault(start, []).append(record.slowdown)
+    starts = (arrivals / bucket_s).astype(np.int64) * bucket_s
     return [
-        (start, float(np.percentile(values, 50)))
-        for start, values in sorted(buckets.items())
+        (float(start), float(np.percentile(slowdowns[starts == start], 50)))
+        for start in np.unique(starts)
     ]
 
 

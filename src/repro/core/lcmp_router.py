@@ -23,7 +23,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..routing.base import Router, flow_hash, register_router
+import numpy as np
+
+from ..routing.base import Router, flow_hash, flow_hash_array, register_router
 from ..simulator.flow import FlowDemand
 from ..simulator.switch import PortSample
 from ..topology.paths import CandidatePath
@@ -34,7 +36,7 @@ from .cost_fusion import PathCost, score_candidates
 from .failover import PortLivenessTracker
 from .flow_cache import FlowCache
 from .path_quality import candidate_path_quality
-from .selection import SelectionOutcome, select_path
+from .selection import SelectionOutcome, filter_candidates, select_path
 from .switch_tables import SwitchTables
 
 __all__ = ["LCMPRouter"]
@@ -86,17 +88,45 @@ class LCMPRouter(Router):
     # ------------------------------------------------------------------ #
     def on_port_sample(self, sample: PortSample, now: float) -> None:
         """Refresh congestion state (step 1 of the decision pipeline)."""
-        self.liveness.observe(sample.next_dc, sample.up)
+        self._observe_port(
+            sample.next_dc,
+            sample.up,
+            sample.queue_bytes,
+            sample.cap_bps,
+            sample.buffer_bytes,
+            now,
+        )
+
+    def on_telemetry(self, view, now: float) -> None:
+        """Columnar sweep delivery: identical per-port register updates
+        straight from the telemetry columns, no sample objects built."""
+        ups = view.up.tolist()
+        queues = view.queue_bytes.tolist()
+        caps = view.cap_bps.tolist()
+        buffers = view.buffer_bytes.tolist()
+        for i, port in enumerate(view.port_dcs):
+            self._observe_port(port, ups[i], queues[i], caps[i], buffers[i], now)
+
+    def _observe_port(
+        self,
+        port: str,
+        up: bool,
+        queue_bytes: float,
+        cap_bps: float,
+        buffer_bytes: float,
+        now: float,
+    ) -> None:
+        self.liveness.observe(port, up)
         if self.estimator is None:
             # the switch has not been provisioned yet; bootstrap minimal
             # tables from what the monitor tells us (on-demand creation)
             self.tables = SwitchTables.bootstrap(
                 config=self.config,
-                max_capacity_bps=max(sample.cap_bps, 1.0),
-                buffer_bytes=max(sample.buffer_bytes, 1.0),
+                max_capacity_bps=max(cap_bps, 1.0),
+                buffer_bytes=max(buffer_bytes, 1.0),
             )
             self.estimator = CongestionEstimator(self.tables, self.config)
-        self.estimator.observe(sample.next_dc, sample.queue_bytes, sample.cap_bps, now)
+        self.estimator.observe(port, queue_bytes, cap_bps, now)
 
     def on_tick(self, now: float) -> None:
         """Periodic garbage collection of the flow cache."""
@@ -144,6 +174,86 @@ class LCMPRouter(Router):
         chosen = outcome.chosen.candidate
         self.flow_cache.insert(demand.flow_id, chosen.first_hop, now)
         return chosen
+
+    def select_batch(
+        self,
+        dst_dc: str,
+        candidates: Sequence[CandidatePath],
+        demands: Sequence[FlowDemand],
+        times: Optional[Sequence[float]] = None,
+        now: float = 0.0,
+    ) -> np.ndarray:
+        """Batched LCMP decision, identical per flow to :meth:`select`.
+
+        The expensive pipeline stages are flow-independent: candidate cost
+        fusion, the herd filter and the reduced-set construction run *once*
+        per batch, and only the per-flow pieces remain sequential — the
+        flow-identification cache pass and the diversity-preserving hash,
+        which is one vectorized :func:`flow_hash_array` over the reduced
+        set.  The fast path requires that the batch cannot interact with
+        the flow cache's LRU state (the simulator's arrival batches carry
+        fresh unique ids, so lookups all miss and inserts cannot evict);
+        when a batched flow is already cached, or inserting the batch
+        could evict, the cache pass and the selection would interleave
+        differently than ``select``'s per-flow order — those batches
+        take the generic sequential loop instead, which is identical by
+        construction.
+        """
+        n = len(demands)
+        cache = self.flow_cache
+        if len(cache) + n > cache.capacity or any(d.flow_id in cache for d in demands):
+            return Router.select_batch(self, dst_dc, candidates, demands, times, now)
+        times_l = (
+            [float(now)] * n if times is None else np.asarray(times, dtype=np.float64).tolist()
+        )
+        positions = {id(c): j for j, c in enumerate(candidates)}
+        self.decisions += n
+        for i, demand in enumerate(demands):
+            # guaranteed miss (guard above); keeps the miss counter exact
+            self.flow_cache.lookup(demand.flow_id, times_l[i])
+        ids = np.fromiter(
+            (d.flow_id for d in demands), dtype=np.int64, count=n
+        )
+
+        if not self.installed:
+            # safe fallback: behave exactly like ECMP until provisioned
+            self.ecmp_fallbacks += n
+            chosen_idx = (
+                flow_hash_array(ids, self.config.hash_salt) % len(candidates)
+            ).astype(np.intp)
+        else:
+            costs = self._cost_candidates(candidates)
+            all_congested = all(
+                c.congestion >= self.config.congested_threshold for c in costs
+            )
+            if all_congested:
+                self.herd_fallbacks += n
+                best = min(costs, key=lambda c: (c.fused, c.candidate.dcs))
+                self.last_outcome = SelectionOutcome(
+                    chosen=best, reduced_set=[best], all_congested=True
+                )
+                chosen_idx = np.full(n, positions[id(best.candidate)], dtype=np.intp)
+            else:
+                reduced = filter_candidates(costs, self.config.keep_fraction)
+                reduced_to_candidate = np.fromiter(
+                    (positions[id(c.candidate)] for c in reduced),
+                    dtype=np.intp,
+                    count=len(reduced),
+                )
+                inner = (
+                    flow_hash_array(ids, self.config.hash_salt) % len(reduced)
+                ).astype(np.intp)
+                chosen_idx = reduced_to_candidate[inner]
+                self.last_outcome = SelectionOutcome(
+                    chosen=reduced[int(inner[-1])],
+                    reduced_set=reduced,
+                    all_congested=False,
+                )
+
+        chosen_l = chosen_idx.tolist()
+        for i, demand in enumerate(demands):
+            self.flow_cache.insert(demand.flow_id, candidates[chosen_l[i]].first_hop, times_l[i])
+        return chosen_idx
 
     # ------------------------------------------------------------------ #
     # helpers

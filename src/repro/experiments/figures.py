@@ -165,6 +165,10 @@ def figure1(
     for name, run in runs.items():
         result.metrics[f"p50_{name}"] = run.profile.overall_p50
         result.metrics[f"p99_{name}"] = run.profile.overall_p99
+        # absolute FCT summary straight off the metrics-store column
+        result.metrics[f"mean_fct_ms_{name}"] = float(
+            run.result.store.fcts().mean() * 1e3
+        )
     return result
 
 

@@ -77,7 +77,15 @@ class ExperimentRun:
     profile: SlowdownProfile
 
     def pair_profile(self, src_dc: str, dst_dc: str, bidirectional: bool = True) -> SlowdownProfile:
-        """Slowdown profile restricted to one DC pair (the Fig. 8 view)."""
+        """Slowdown profile restricted to one DC pair (the Fig. 8 view).
+
+        Served straight from the metrics-store columns (one boolean mask,
+        no record materialisation) when the run carries a store.
+        """
+        store = self.result.store
+        if store is not None and not self.result.records_overridden:
+            mask = store.pair_mask(src_dc, dst_dc, bidirectional=bidirectional)
+            return SlowdownProfile.from_result(self.profile.name, self.result, mask=mask)
         records: List[FlowRecord] = [
             r
             for r in self.result.records
@@ -164,7 +172,7 @@ class ExperimentRunner:
             scenario=spec.resolve_scenario(),
         )
         result = simulation.run()
-        profile = SlowdownProfile.from_records(spec.name, result.records)
+        profile = SlowdownProfile.from_result(spec.name, result)
         return ExperimentRun(spec=spec, result=result, profile=profile)
 
     def run_many(

@@ -2,17 +2,34 @@
 
 Every routing scheme in the evaluation — ECMP, WCMP, UCMP, RedTE and LCMP —
 implements the same switch-local interface: it is attached to one DCI switch,
-receives periodic queue-monitor samples of that switch's egress ports, and is
-asked to pick one candidate route when the first packet of a new flow
+receives periodic queue-monitor telemetry of that switch's egress ports, and
+is asked to pick one candidate route when the first packet of a new flow
 arrives.  The interface mirrors what the paper's data-plane prototype can do:
 decisions use only locally available state (precomputed path attributes plus
 the switch's own port telemetry).
+
+Two batched entry points exist alongside the per-flow ones:
+
+* :meth:`Router.select_batch` routes many simultaneous arrivals in one call.
+  The base implementation loops :meth:`Router.select` (so batch decisions
+  are identical to sequential ones by construction); every shipped router
+  overrides it with array operations over the candidate table —
+  :func:`flow_hash_array` is the vectorized twin of :func:`flow_hash` and
+  produces bit-identical hashes.
+* :meth:`Router.on_telemetry` receives one queue-monitor sweep as a columnar
+  per-switch view (:class:`~repro.simulator.telemetry.TelemetryView`).  The
+  base implementation materialises the legacy per-port
+  :class:`~repro.simulator.switch.PortSample` objects and forwards them to
+  :meth:`Router.on_port_sample`, so routers written against the per-sample
+  hook keep working unchanged under the array-resident control plane.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, List, Sequence, Type
+from typing import Callable, Dict, List, Optional, Sequence, Type
+
+import numpy as np
 
 from ..simulator.flow import FlowDemand
 from ..simulator.switch import PortSample
@@ -25,6 +42,7 @@ __all__ = [
     "make_router_factory",
     "available_routers",
     "flow_hash",
+    "flow_hash_array",
 ]
 
 
@@ -39,6 +57,27 @@ def flow_hash(flow_id: int, salt: int = 0x9E3779B1) -> int:
     x ^= x >> 16
     x = (x * 0x85EBCA6B) & 0xFFFFFFFF
     x ^= x >> 13
+    return x
+
+
+_HASH_MASK = np.uint64(0xFFFFFFFF)
+_HASH_MUL2 = np.uint64(0x85EBCA6B)
+_SHIFT_16 = np.uint64(16)
+_SHIFT_13 = np.uint64(13)
+
+
+def flow_hash_array(flow_ids: np.ndarray, salt: int = 0x9E3779B1) -> np.ndarray:
+    """Vectorized :func:`flow_hash` over an array of flow identifiers.
+
+    Performs the same 32-bit arithmetic in ``uint64`` lanes (the products
+    fit, and wrap-then-mask equals Python's mask), so
+    ``flow_hash_array(ids)[i] == flow_hash(int(ids[i]))`` for every id —
+    the batched routers rely on that exactness.
+    """
+    x = (np.asarray(flow_ids).astype(np.uint64) * np.uint64(salt)) & _HASH_MASK
+    x ^= x >> _SHIFT_16
+    x = (x * _HASH_MUL2) & _HASH_MASK
+    x ^= x >> _SHIFT_13
     return x
 
 
@@ -78,11 +117,78 @@ class Router(abc.ABC):
         hop port is currently alive.
         """
 
+    def select_batch(
+        self,
+        dst_dc: str,
+        candidates: Sequence[CandidatePath],
+        demands: Sequence[FlowDemand],
+        times: Optional[Sequence[float]] = None,
+        now: float = 0.0,
+    ) -> np.ndarray:
+        """Pick one candidate per demand for a batch of new flows.
+
+        Semantically equivalent to calling :meth:`select` once per demand in
+        order (:meth:`select` is the batch-of-one case); the base
+        implementation does exactly that, so any router is batch-capable.
+        Overrides replace the per-flow Python work with array operations
+        over the candidate table and must keep the decisions *identical*
+        to the sequential loop (guarded by
+        ``tests/routing/test_select_batch.py``).
+
+        Args:
+            dst_dc: destination datacenter.
+            candidates: live candidate routes (never empty).
+            demands: the arriving flows, in arrival order.
+            times: per-demand decision times (each flow is routed at its own
+                arrival instant even when a batch is drained early); falls
+                back to ``now`` for every demand when omitted.
+            now: scalar decision time used when ``times`` is omitted.
+
+        Returns:
+            Integer index into ``candidates`` per demand.
+        """
+        positions = {id(c): j for j, c in enumerate(candidates)}
+        out = np.empty(len(demands), dtype=np.intp)
+        for i, demand in enumerate(demands):
+            t = now if times is None else float(times[i])
+            chosen = self.select(dst_dc, candidates, demand, t)
+            out[i] = positions[id(chosen)]
+        return out
+
     # ------------------------------------------------------------------ #
     # optional hooks
     # ------------------------------------------------------------------ #
     def on_port_sample(self, sample: PortSample, now: float) -> None:
         """Receive one queue-monitor observation of a local egress port."""
+
+    def on_telemetry(self, view, now: float) -> None:
+        """Receive one queue-monitor sweep as a columnar per-switch view.
+
+        ``view`` is a :class:`~repro.simulator.telemetry.TelemetryView` over
+        the attached switch's egress-port columns.  The base implementation
+        lazily materialises the compatibility :class:`PortSample` objects
+        and forwards them to :meth:`on_port_sample` — routers overriding
+        only the per-sample hook behave identically under both control
+        planes.  Telemetry-hungry routers override this to read the columns
+        directly (no per-port object construction).
+        """
+        for sample in view.build_samples(now):
+            self.on_port_sample(sample, now)
+
+    def consumes_telemetry(self) -> bool:
+        """True when this router actually reads queue-monitor telemetry.
+
+        The array-resident control plane skips per-router delivery entirely
+        for oblivious routers (ECMP/WCMP): writing the telemetry columns is
+        enough.  Detection is by override: a router that customises neither
+        :meth:`on_port_sample` nor :meth:`on_telemetry` cannot observe the
+        sweep.
+        """
+        cls = type(self)
+        return (
+            cls.on_port_sample is not Router.on_port_sample
+            or cls.on_telemetry is not Router.on_telemetry
+        )
 
     def on_tick(self, now: float) -> None:
         """Periodic housekeeping (flow-cache GC, control loops)."""

@@ -7,11 +7,13 @@ and current congestion.  This is the paper's primary deployed baseline.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
+
+import numpy as np
 
 from ..simulator.flow import FlowDemand
 from ..topology.paths import CandidatePath
-from .base import Router, flow_hash, register_router
+from .base import Router, flow_hash, flow_hash_array, register_router
 
 __all__ = ["ECMPRouter"]
 
@@ -43,3 +45,18 @@ class ECMPRouter(Router):
         self.decisions += 1
         index = flow_hash(demand.flow_id, self.salt) % len(candidates)
         return candidates[index]
+
+    def select_batch(
+        self,
+        dst_dc: str,
+        candidates: Sequence[CandidatePath],
+        demands: Sequence[FlowDemand],
+        times: Optional[Sequence[float]] = None,
+        now: float = 0.0,
+    ) -> np.ndarray:
+        """Vectorized hashing: one array op for the whole batch."""
+        self.decisions += len(demands)
+        ids = np.fromiter(
+            (d.flow_id for d in demands), dtype=np.int64, count=len(demands)
+        )
+        return (flow_hash_array(ids, self.salt) % len(candidates)).astype(np.intp)

@@ -18,12 +18,14 @@ substitution, see DESIGN.md).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..simulator.flow import FlowDemand
 from ..simulator.switch import PortSample
 from ..topology.paths import CandidatePath
-from .base import Router, flow_hash, register_router
+from .base import Router, flow_hash, flow_hash_array, register_router
 
 __all__ = ["RedTERouter"]
 
@@ -74,11 +76,21 @@ class RedTERouter(Router):
     # ------------------------------------------------------------------ #
     def on_port_sample(self, sample: PortSample, now: float) -> None:
         """Track cumulative carried bytes and capacity per egress port."""
-        self._carried[sample.next_dc] = sample.carried_bytes
-        self._capacity[sample.next_dc] = sample.cap_bps
-        if sample.next_dc not in self._weights:
-            self._weights[sample.next_dc] = 1.0
-            self._carried_at_interval_start[sample.next_dc] = sample.carried_bytes
+        self._observe_port(sample.next_dc, sample.carried_bytes, sample.cap_bps)
+
+    def on_telemetry(self, view, now: float) -> None:
+        """Columnar sweep delivery: same per-port updates, no sample objects."""
+        carried = view.carried_bytes.tolist()
+        caps = view.cap_bps.tolist()
+        for i, port in enumerate(view.port_dcs):
+            self._observe_port(port, carried[i], caps[i])
+
+    def _observe_port(self, port: str, carried_bytes: float, cap_bps: float) -> None:
+        self._carried[port] = carried_bytes
+        self._capacity[port] = cap_bps
+        if port not in self._weights:
+            self._weights[port] = 1.0
+            self._carried_at_interval_start[port] = carried_bytes
 
     def on_tick(self, now: float) -> None:
         """Run the control loop when a full control interval has elapsed."""
@@ -138,3 +150,34 @@ class RedTERouter(Router):
             if point <= cumulative:
                 return candidate
         return candidates[-1]
+
+    def select_batch(
+        self,
+        dst_dc: str,
+        candidates: Sequence[CandidatePath],
+        demands: Sequence[FlowDemand],
+        times: Optional[Sequence[float]] = None,
+        now: float = 0.0,
+    ) -> np.ndarray:
+        """Vectorized weighted hashing under the current split ratios.
+
+        The split weights only move on the (coarse) control loop, so one
+        cumulative table covers the whole batch; the ``searchsorted`` /
+        clip pair reproduces the scalar loop's ``point <= cumulative`` exit
+        and ``candidates[-1]`` fallthrough exactly.
+        """
+        self.decisions += len(demands)
+        weights: List[float] = [
+            self._weights.get(c.first_hop, 1.0) for c in candidates
+        ]
+        total = sum(weights)
+        if total <= 0:
+            weights = [1.0] * len(candidates)
+            total = float(len(candidates))
+        cumulative = np.cumsum(np.asarray(weights))
+        ids = np.fromiter(
+            (d.flow_id for d in demands), dtype=np.int64, count=len(demands)
+        )
+        points = (flow_hash_array(ids, self.salt).astype(np.float64) / 0xFFFFFFFF) * total
+        idx = np.searchsorted(cumulative, points, side="left")
+        return np.minimum(idx, len(candidates) - 1).astype(np.intp)

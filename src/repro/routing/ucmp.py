@@ -16,11 +16,13 @@ cheapest capacity class is retained, and flows are hashed inside that class.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..simulator.flow import FlowDemand
 from ..topology.paths import CandidatePath
-from .base import Router, flow_hash, register_router
+from .base import Router, flow_hash, flow_hash_array, register_router
 
 __all__ = ["UCMPRouter"]
 
@@ -51,6 +53,9 @@ class UCMPRouter(Router):
         self.salt = salt
         self.capacity_class_tolerance = capacity_class_tolerance
         self.delay_weight = delay_weight
+        #: cheapest-class index table per candidate set (static attributes,
+        #: so the filter + cost sort is computed once per set)
+        self._class_cache: Dict[Tuple, np.ndarray] = {}
 
     # ------------------------------------------------------------------ #
     def unified_cost(self, candidate: CandidatePath) -> float:
@@ -75,3 +80,42 @@ class UCMPRouter(Router):
         cheapest_class.sort(key=self.unified_cost)
         index = flow_hash(demand.flow_id, self.salt) % len(cheapest_class)
         return cheapest_class[index]
+
+    def _cheapest_class_for(
+        self, dst_dc: str, candidates: Sequence[CandidatePath]
+    ) -> np.ndarray:
+        """Candidate indices of the cost-sorted cheapest capacity class.
+
+        The filter and the stable cost sort are flow-independent, so the
+        resulting index array matches the list ``select`` hashes into,
+        position for position.
+        """
+        key = (dst_dc,) + tuple(c.dcs for c in candidates)
+        entry = self._class_cache.get(key)
+        if entry is None:
+            best_capacity = max(c.bottleneck_bps for c in candidates)
+            threshold = best_capacity * (1.0 - self.capacity_class_tolerance)
+            class_idx = [
+                j for j, c in enumerate(candidates) if c.bottleneck_bps >= threshold
+            ]
+            class_idx.sort(key=lambda j: self.unified_cost(candidates[j]))
+            entry = np.asarray(class_idx, dtype=np.intp)
+            self._class_cache[key] = entry
+        return entry
+
+    def select_batch(
+        self,
+        dst_dc: str,
+        candidates: Sequence[CandidatePath],
+        demands: Sequence[FlowDemand],
+        times: Optional[Sequence[float]] = None,
+        now: float = 0.0,
+    ) -> np.ndarray:
+        """Hash the batch inside the cached cheapest capacity class."""
+        self.decisions += len(demands)
+        cheapest = self._cheapest_class_for(dst_dc, candidates)
+        ids = np.fromiter(
+            (d.flow_id for d in demands), dtype=np.int64, count=len(demands)
+        )
+        inner = (flow_hash_array(ids, self.salt) % len(cheapest)).astype(np.intp)
+        return cheapest[inner]

@@ -8,11 +8,13 @@ congestion — the gap the paper highlights for slow, topology-only schemes.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..simulator.flow import FlowDemand
 from ..topology.paths import CandidatePath
-from .base import Router, flow_hash, register_router
+from .base import Router, flow_hash, flow_hash_array, register_router
 
 __all__ = ["WCMPRouter"]
 
@@ -26,6 +28,9 @@ class WCMPRouter(Router):
     def __init__(self, salt: int = 0x2545F491) -> None:
         super().__init__()
         self.salt = salt
+        #: cumulative-weight table per candidate set (weights are static,
+        #: so the per-(dst, candidate-set) arrays are computed once)
+        self._cumulative_cache: Dict[Tuple, Tuple[np.ndarray, float]] = {}
 
     def select(
         self,
@@ -50,3 +55,41 @@ class WCMPRouter(Router):
             if point <= cumulative:
                 return candidate
         return candidates[-1]
+
+    def _cumulative_for(
+        self, dst_dc: str, candidates: Sequence[CandidatePath]
+    ) -> Tuple[np.ndarray, float]:
+        key = (dst_dc,) + tuple(c.dcs for c in candidates)
+        entry = self._cumulative_cache.get(key)
+        if entry is None:
+            weights = [max(c.bottleneck_bps, 1.0) for c in candidates]
+            # np.cumsum accumulates sequentially, so cumulative[i] equals
+            # the scalar loop's running sum bit for bit; ``total`` is the
+            # same Python sum select() uses for the hash point
+            entry = (np.cumsum(np.asarray(weights)), sum(weights))
+            self._cumulative_cache[key] = entry
+        return entry
+
+    def select_batch(
+        self,
+        dst_dc: str,
+        candidates: Sequence[CandidatePath],
+        demands: Sequence[FlowDemand],
+        times: Optional[Sequence[float]] = None,
+        now: float = 0.0,
+    ) -> np.ndarray:
+        """Vectorized weighted hashing over the cached cumulative table.
+
+        ``searchsorted(..., side="left")`` returns the first index whose
+        cumulative weight is >= the hash point — exactly the scalar loop's
+        ``point <= cumulative`` exit; the final clip reproduces its
+        ``candidates[-1]`` fallthrough.
+        """
+        self.decisions += len(demands)
+        cumulative, total = self._cumulative_for(dst_dc, candidates)
+        ids = np.fromiter(
+            (d.flow_id for d in demands), dtype=np.int64, count=len(demands)
+        )
+        points = (flow_hash_array(ids, self.salt).astype(np.float64) / 0xFFFFFFFF) * total
+        idx = np.searchsorted(cumulative, points, side="left")
+        return np.minimum(idx, len(candidates) - 1).astype(np.intp)

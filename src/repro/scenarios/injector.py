@@ -200,6 +200,21 @@ class ScenarioInjector:
         #: flow id -> (owning outcome, disruption time)
         self._open_disruptions: Dict[int, Tuple[EventOutcome, float]] = {}
 
+    def scheduled_event_times(self) -> frozenset:
+        """Every instant at which this scenario schedules an engine event.
+
+        The batched-arrival path uses these as tie guards: an arrival whose
+        timestamp exactly equals a not-yet-fired scenario event must not be
+        admitted early, because the scenario event (scheduled first, lower
+        sequence number) fires before the arrival would have.
+        """
+        times = set()
+        for event in self._events:
+            times.add(event.time_s)
+            if isinstance(event, DCMaintenance):
+                times.add(event.end_s)
+        return frozenset(times)
+
     # ------------------------------------------------------------------ #
     # installation
     # ------------------------------------------------------------------ #

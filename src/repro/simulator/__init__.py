@@ -11,7 +11,7 @@ the substitution rationale).  Public entry points:
 
 from .config import SimulationConfig
 from .engine import Event, EventQueue, SimulationEngine, SimulationError
-from .fct import FCTCollector, FlowRecord, IdealFctModel
+from .fct import FCTCollector, FlowRecord, IdealFctModel, MetricsStore
 from .flow import FeedbackSignal, Flow, FlowDemand
 from .flow_table import ColumnBlock, FlowTable
 from .fluid import FlowFailure, FluidSimulation, LinkStats, SimulationResult
@@ -19,7 +19,8 @@ from .incidence import FlowLinkIncidence
 from .link import RuntimeLink
 from .monitor import LinkTrace, LinkTraceSample, QueueMonitor
 from .network import RoutingLoopError, RuntimeNetwork
-from .switch import DCISwitch, PortSample, RoutingDecision
+from .switch import DCISwitch, DecisionLog, PortSample, RoutingDecision
+from .telemetry import TelemetryPlane, TelemetryView
 
 __all__ = [
     "SimulationConfig",
@@ -30,6 +31,7 @@ __all__ = [
     "FCTCollector",
     "FlowRecord",
     "IdealFctModel",
+    "MetricsStore",
     "FeedbackSignal",
     "Flow",
     "FlowDemand",
@@ -47,6 +49,9 @@ __all__ = [
     "RoutingLoopError",
     "RuntimeNetwork",
     "DCISwitch",
+    "DecisionLog",
     "PortSample",
     "RoutingDecision",
+    "TelemetryPlane",
+    "TelemetryView",
 ]

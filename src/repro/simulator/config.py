@@ -53,6 +53,20 @@ class SimulationConfig:
             high-concurrency step-throughput benchmark measures against.
             All three cores are bit-for-bit identical (see DESIGN.md,
             "Flow table (SoA)").
+        batched_control: with ``vectorized``, run the array-resident
+            control plane (default): monitor sweeps write
+            :class:`~repro.simulator.telemetry.TelemetryPlane` columns
+            instead of per-port sample objects, and flow arrivals drain in
+            batches routed through one
+            :meth:`~repro.routing.base.Router.select_batch` call per
+            switch hop instead of one heap event + Python ``select`` chain
+            per flow.  ``batched_control=False`` selects the PR-3 control
+            plane (per-event arrivals, per-object sampling), kept as the
+            baseline the monitored control-plane benchmark measures
+            against.  The scalar core always uses the per-event control
+            plane (it is the executable specification); results are
+            bit-for-bit identical either way (see DESIGN.md, "Control
+            plane (arrays)").
     """
 
     update_interval_s: float = 1e-3
@@ -68,6 +82,7 @@ class SimulationConfig:
     seed: int = 1
     vectorized: bool = True
     soa: bool = True
+    batched_control: bool = True
 
     def with_overrides(self, **kwargs) -> "SimulationConfig":
         """Return a copy with the given fields replaced."""

@@ -128,6 +128,16 @@ class SimulationEngine:
         """Number of events still scheduled."""
         return len(self._queue)
 
+    def next_event_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` when idle.
+
+        Used by the batched-arrival path: from inside an event callback this
+        is the earliest instant at which *any* simulation state can change
+        next, so every arrival strictly before it can be admitted in one
+        batch without observable difference from per-event admission.
+        """
+        return self._queue.peek_time()
+
     # ------------------------------------------------------------------ #
     def schedule(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute simulated time ``time``.

@@ -111,6 +111,11 @@ class Flow:
         self._slot = -1
         #: position in the owning simulation's active list (swap-remove)
         self._active_pos = -1
+        #: interned id of the flow's DC-level route in the run's
+        #: MetricsStore (set at arrival / re-route time; -1 = unset, the
+        #: collector derives the route from the path on demand).  Bound
+        #: flows keep it in the FlowTable's ``path_id`` column.
+        self._route_id_attr = -1
         self._base_rtt_s = float(base_rtt_s)
         self._remaining_bytes: float = float(demand.size_bytes)
         #: achieved throughput during the most recent update step (bps)
@@ -144,6 +149,7 @@ class Flow:
         )
         table.feedback_live[slot] = self._fb_live
         table.feedback_tick[slot] = self._fb_tick
+        table.path_id[slot] = self._route_id_attr
         self._table = table
         self._slot = slot
 
@@ -161,6 +167,7 @@ class Flow:
         self._disrupted_s = None if stamp != stamp else stamp
         self._fb_live = bool(table.feedback_live[slot])
         self._fb_tick = int(table.feedback_tick[slot])
+        self._route_id_attr = int(table.path_id[slot])
 
     # ------------------------------------------------------------------ #
     # table-backed state
@@ -229,6 +236,27 @@ class Flow:
             self._disrupted_s = value
         else:
             t.disrupted_s[self._slot] = value if value is not None else float("nan")
+
+    @property
+    def route_id(self) -> int:
+        """Interned id of the flow's current DC-level route (-1 = unset).
+
+        Table-resident while bound (the FlowTable's ``path_id`` column —
+        routing decisions write it at arrival / re-route time; the
+        collector reads it back through the released flow at completion).
+        """
+        t = self._table
+        if t is None:
+            return self._route_id_attr
+        return int(t.path_id[self._slot])
+
+    @route_id.setter
+    def route_id(self, value: int) -> None:
+        t = self._table
+        if t is None:
+            self._route_id_attr = value
+        else:
+            t.path_id[self._slot] = value
 
     @property
     def _feedback_live(self) -> bool:

@@ -107,6 +107,10 @@ class FlowTable:
         #: bumped on every acquire; feedback lanes whose recorded epoch
         #: no longer matches are dropped (slot-reuse guard)
         self.epoch = np.zeros(self._capacity, dtype=np.int64)
+        #: interned id of the flow's current DC-level route (the batched
+        #: control plane writes routing decisions straight into this
+        #: column at arrival / re-route time; -1 = unset)
+        self.path_id = np.full(self._capacity, -1, dtype=np.int64)
 
         #: per-CC-class column blocks, keyed by the CC class
         self._blocks: Dict[Type, ColumnBlock] = {}
@@ -216,13 +220,14 @@ class FlowTable:
             "cc_rate_bps",
             "feedback_count",
             "epoch",
+            "path_id",
         ):
             old = getattr(self, name)
             grown = np.zeros(new_capacity, dtype=old.dtype)
             grown[: self._capacity] = old
             if name == "disrupted_s":
                 grown[self._capacity:] = np.nan
-            elif name == "feedback_tick":
+            elif name in ("feedback_tick", "path_id"):
                 grown[self._capacity:] = -1
             setattr(self, name, grown)
         for block in self._blocks.values():

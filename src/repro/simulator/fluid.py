@@ -38,21 +38,23 @@ fast-failover path mid-run.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .config import SimulationConfig
-from .engine import SimulationEngine
-from .fct import FCTCollector, FlowRecord, IdealFctModel
+from .engine import SimulationEngine, SimulationError
+from .fct import FCTCollector, FlowRecord, IdealFctModel, MetricsStore
 from .flow import FeedbackSignal, Flow, FlowDemand
 from .flow_table import FlowTable
 from .incidence import FlowLinkIncidence
 from .link import RuntimeLink
 from .monitor import LinkTrace, QueueMonitor
 from .network import RuntimeNetwork
+from .telemetry import TelemetryPlane
 
 __all__ = ["LinkStats", "FlowFailure", "SimulationResult", "FluidSimulation"]
 
@@ -134,12 +136,20 @@ class FlowFailure:
     remaining_bytes: float
 
 
-@dataclass
 class SimulationResult:
     """Everything a simulation run produces.
 
+    Completed-flow metrics live in a columnar
+    :class:`~repro.simulator.fct.MetricsStore` (:attr:`store`); the legacy
+    :attr:`records` list is a *view* materialised freshly on every access,
+    so callers cannot mutate the run's metrics through it.  Analysis code
+    should prefer the store's column accessors.
+
     Attributes:
-        records: one :class:`FlowRecord` per completed flow.
+        records: one :class:`FlowRecord` per completed flow (lazy view over
+            :attr:`store`; assignable for synthetic results in tests).
+        store: the columnar metrics (``None`` only when a records list was
+            supplied explicitly).
         link_stats: per inter-DC link summary.
         duration_s: simulated time elapsed (from time 0 to the stop time).
         unfinished_flows: flows still active when the simulation stopped
@@ -154,18 +164,67 @@ class SimulationResult:
             run carried a scenario, else ``None``.
     """
 
-    records: List[FlowRecord]
-    link_stats: List[LinkStats]
-    duration_s: float
-    unfinished_flows: int
-    routing_decisions: int
-    monitor_samples: int
-    trace: Optional[LinkTrace] = None
-    failed_flows: List[FlowFailure] = field(default_factory=list)
-    scenario_metrics: Optional[object] = None
+    def __init__(
+        self,
+        records: Optional[List[FlowRecord]] = None,
+        link_stats: Optional[List[LinkStats]] = None,
+        duration_s: float = 0.0,
+        unfinished_flows: int = 0,
+        routing_decisions: int = 0,
+        monitor_samples: int = 0,
+        trace: Optional[LinkTrace] = None,
+        failed_flows: Optional[List[FlowFailure]] = None,
+        scenario_metrics: Optional[object] = None,
+        store: Optional[MetricsStore] = None,
+    ) -> None:
+        self._records_override: Optional[List[FlowRecord]] = (
+            list(records) if records is not None else None
+        )
+        self.store = store
+        self.link_stats = list(link_stats) if link_stats is not None else []
+        self.duration_s = duration_s
+        self.unfinished_flows = unfinished_flows
+        self.routing_decisions = routing_decisions
+        self.monitor_samples = monitor_samples
+        self.trace = trace
+        self.failed_flows = list(failed_flows) if failed_flows is not None else []
+        self.scenario_metrics = scenario_metrics
+
+    @property
+    def records(self) -> List[FlowRecord]:
+        """Completed-flow records (a fresh list of views per access)."""
+        if self._records_override is not None:
+            return list(self._records_override)
+        if self.store is None:
+            return []
+        return self.store.records()
+
+    @records.setter
+    def records(self, value: Optional[List[FlowRecord]]) -> None:
+        self._records_override = list(value) if value is not None else None
+
+    @property
+    def records_overridden(self) -> bool:
+        """True when a records list was assigned, shadowing :attr:`store`."""
+        return self._records_override is not None
+
+    def arrival_slowdown_columns(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(arrival_s, slowdown)`` columns of the completed flows.
+
+        Served straight from the metrics store when available, so analysis
+        helpers can window/bucket without materialising record objects.
+        """
+        if self._records_override is None and self.store is not None:
+            return self.store.arrivals(), self.store.slowdowns()
+        recs = self.records
+        arrivals = np.fromiter((r.arrival_s for r in recs), dtype=np.float64, count=len(recs))
+        slowdowns = np.fromiter((r.slowdown for r in recs), dtype=np.float64, count=len(recs))
+        return arrivals, slowdowns
 
     def slowdowns(self) -> List[float]:
         """All flow slowdowns."""
+        if self._records_override is None and self.store is not None:
+            return self.store.slowdowns().tolist()
         return [r.slowdown for r in self.records]
 
     def utilization_by_link(self) -> Dict[Tuple[str, str], float]:
@@ -213,7 +272,6 @@ class FluidSimulation:
             ideal, fidelity_noise=self.config.fidelity_noise, rng=self._rng
         )
         self._trace = LinkTrace() if trace_links else None
-        self.monitor = QueueMonitor(network, trace=self._trace)
 
         self._active: List[Flow] = []
         #: flow×link incidence arrays (None = scalar update path)
@@ -228,6 +286,16 @@ class FluidSimulation:
         #: SoA core: flows and controllers are *bound* to their table rows
         #: (columns authoritative); False = object-resident legacy core
         self._soa = bool(self.config.vectorized and self.config.soa)
+        #: array-resident control plane: telemetry columns + batched
+        #: arrivals (vectorized cores only; the scalar reference path and
+        #: the PR-3 baseline keep per-event arrivals and object sampling)
+        self._batched = bool(self.config.vectorized and self.config.batched_control)
+
+        self.telemetry: Optional[TelemetryPlane] = None
+        if self._batched:
+            self.telemetry = TelemetryPlane(network)
+            self.telemetry.attach_incidence(self._incidence)
+        self.monitor = QueueMonitor(network, trace=self._trace, plane=self.telemetry)
         #: FlowTable rows of the active flows, aligned with ``_active``
         #: (grown by doubling; ``_n_active`` is the live prefix length)
         self._rows_arr = np.empty(256, dtype=np.intp)
@@ -242,7 +310,19 @@ class FluidSimulation:
         self._pending_arrivals = len(self.demands)
         self._stopped = False
         #: flow id -> (arrival Event, demand) for not-yet-arrived flows
+        #: (per-event arrival path only)
         self._arrival_events: Dict[int, Tuple[object, FlowDemand]] = {}
+        #: batched-arrival state: a (arrival_s, flow_id, strict, demand)
+        #: heap of not-yet-admitted demands, drained by one batch event
+        #: per event-free window instead of one heap event per flow
+        #: (``strict`` marks mid-run injections, see :meth:`_arrival_batch`)
+        self._arrival_heap: List[Tuple[float, int, bool, FlowDemand]] = []
+        self._run_started = False
+        self._cancelled_ids: set = set()
+        self._batch_event = None
+        #: scenario event times guarding exact-tie admission (see
+        #: :meth:`_arrival_batch`)
+        self._tie_guard: frozenset = frozenset()
         self._injected_last_arrival_s = 0.0
         self._failed: List[FlowFailure] = []
 
@@ -252,6 +332,7 @@ class FluidSimulation:
             from ..scenarios.injector import ScenarioInjector
 
             self.injector = ScenarioInjector(scenario, self)
+            self._tie_guard = self.injector.scheduled_event_times()
             self.injector.install()
 
     # ------------------------------------------------------------------ #
@@ -261,6 +342,7 @@ class FluidSimulation:
         """Execute the simulation and return its result."""
         for demand in self.demands:
             self._schedule_arrival(demand)
+        self._run_started = True
 
         # the monitor is scheduled before the rate/queue update so that when
         # both fire at the same instant the switch samples its queues first
@@ -303,6 +385,14 @@ class FluidSimulation:
         Returns:
             Number of demands cancelled (traffic-drain events).
         """
+        if self._batched:
+            cancelled = 0
+            for _, flow_id, _, demand in self._arrival_heap:
+                if flow_id not in self._cancelled_ids and predicate(demand):
+                    self._cancelled_ids.add(flow_id)
+                    self._pending_arrivals -= 1
+                    cancelled += 1
+            return cancelled
         cancelled = 0
         for flow_id, (event, demand) in list(self._arrival_events.items()):
             if predicate(demand):
@@ -397,6 +487,18 @@ class FluidSimulation:
     # event handlers
     # ------------------------------------------------------------------ #
     def _schedule_arrival(self, demand: FlowDemand) -> None:
+        if self._batched:
+            if demand.arrival_s < self.engine.now:
+                raise SimulationError(
+                    f"cannot schedule event at {demand.arrival_s} "
+                    f"(now is {self.engine.now})"
+                )
+            heapq.heappush(
+                self._arrival_heap,
+                (demand.arrival_s, demand.flow_id, self._run_started, demand),
+            )
+            self._ensure_batch_event()
+            return
         event = self.engine.schedule(demand.arrival_s, self._make_arrival(demand))
         self._arrival_events[demand.flow_id] = (event, demand)
 
@@ -410,12 +512,93 @@ class FluidSimulation:
             line_rate = path[0].cap_bps
             cc = self.cc_factory(line_rate, base_rtt)
             flow = Flow(demand, path, cc, base_rtt)
+            flow.route_id = self.collector.route_index_for(demand.src_dc, flow.path)
             if self._table is not None:
                 row = self._table.acquire(flow, bind=self._soa)
                 self._incidence.set_path(row, flow.path)
+                self._table.path_id[row] = flow.route_id
             self._append_active(flow)
 
         return arrive
+
+    # ------------------------------------------------------------------ #
+    # batched arrivals (array-resident control plane)
+    # ------------------------------------------------------------------ #
+    def _ensure_batch_event(self) -> None:
+        """Keep exactly one batch event scheduled at the earliest arrival."""
+        heap = self._arrival_heap
+        while heap and heap[0][1] in self._cancelled_ids:
+            self._cancelled_ids.discard(heap[0][1])
+            heapq.heappop(heap)
+        if not heap:
+            return
+        head_time = heap[0][0]
+        event = self._batch_event
+        if event is not None and not event.cancelled and event.time <= head_time:
+            return
+        if event is not None:
+            event.cancel()
+        self._batch_event = self.engine.schedule(head_time, self._arrival_batch)
+
+    def _arrival_batch(self) -> None:
+        """Admit every arrival due before the next possible state change.
+
+        Fires at the earliest pending arrival time.  Nothing observable can
+        happen between engine events, so every demand whose arrival lies
+        strictly before the next pending event is admitted now — each flow
+        still routed with its own arrival timestamp — which is exactly
+        equivalent to one heap event per flow.  Ties: a pre-run demand
+        stamped at the next event's exact time is admitted too (the
+        per-event path scheduled those arrivals before the periodic ticks,
+        so the arrival fired first), *unless* that instant belongs to a
+        not-yet-fired scenario event, which the per-event path ordered
+        before arrivals.  Demands injected *mid-run* (``strict``) never
+        tie-break early — their per-event ordering against an exactly-tied
+        periodic tick depends on when that tick last rescheduled, so the
+        batch conservatively defers them past every event pending at that
+        instant.
+        """
+        self._batch_event = None
+        now = self.engine.now
+        horizon = self.engine.next_event_time()
+        heap = self._arrival_heap
+        guard = self._tie_guard
+        batch: List[FlowDemand] = []
+        while heap:
+            t, flow_id, strict, demand = heap[0]
+            if flow_id in self._cancelled_ids:
+                heapq.heappop(heap)
+                self._cancelled_ids.discard(flow_id)
+                continue
+            if t > now and horizon is not None:
+                if t > horizon:
+                    break
+                if t == horizon and (strict or t in guard):
+                    break
+            heapq.heappop(heap)
+            batch.append(demand)
+        if batch:
+            self._admit_arrivals(batch)
+        self._ensure_batch_event()
+
+    def _admit_arrivals(self, batch: List[FlowDemand]) -> None:
+        """Route and activate one drained arrival batch (arrival order)."""
+        times = np.fromiter(
+            (d.arrival_s for d in batch), dtype=np.float64, count=len(batch)
+        )
+        paths = self.network.resolve_paths_batch(batch, times)
+        table = self._table
+        collector = self.collector
+        for demand, path in zip(batch, paths):
+            self._pending_arrivals -= 1
+            base_rtt = 2.0 * sum(link.delay_s for link in path)
+            cc = self.cc_factory(path[0].cap_bps, base_rtt)
+            flow = Flow(demand, path, cc, base_rtt)
+            flow.route_id = collector.route_index_for(demand.src_dc, flow.path)
+            row = table.acquire(flow, bind=self._soa)
+            self._incidence.set_path(row, flow.path)
+            table.path_id[row] = flow.route_id
+            self._append_active(flow)
 
     # ------------------------------------------------------------------ #
     # active-set bookkeeping (O(1) append / swap-remove)
@@ -477,10 +660,10 @@ class FluidSimulation:
             if self._table is not None:
                 self._incidence.remove_row(flow._slot)
                 # release unbinds the flow/controller views (final column
-                # values are copied back), so the record below and any
-                # later reader see the flow's true final state
+                # values are copied back), so the metrics appended below
+                # and any later reader see the flow's true final state
                 self._table.release(flow)
-            self.collector.record(flow)
+            self.collector.collect(flow)
 
     def _deliver_feedback_line(self, now: float) -> None:
         """Deliver every due lane of the feedback delay line (vectorized).
@@ -989,8 +1172,10 @@ class FluidSimulation:
             return False
         flow.path = tuple(new_path)
         flow.base_rtt_s = 2.0 * sum(link.delay_s for link in new_path)
+        flow.route_id = self.collector.route_index_for(flow.demand.src_dc, flow.path)
         if self._incidence is not None:
             self._incidence.update_flow_path(flow)
+            self._table.path_id[flow._slot] = flow.route_id
         return True
 
     def _fail_flow(self, flow: Flow, now: float) -> None:
@@ -1054,10 +1239,10 @@ class FluidSimulation:
                 )
             )
         decisions = sum(
-            len(switch.decisions) for switch in self.network.switches.values()
+            switch.decision_count for switch in self.network.switches.values()
         )
         return SimulationResult(
-            records=self.collector.records,
+            store=self.collector.store,
             link_stats=stats,
             duration_s=duration,
             unfinished_flows=len(self._active),

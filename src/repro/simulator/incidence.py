@@ -141,6 +141,30 @@ class FlowLinkIncidence:
         )
         self._seen_state_version = RuntimeLink.state_version
 
+    def register_links(self, links: Sequence[RuntimeLink]) -> List[int]:
+        """Register links up front and return their registry slots.
+
+        Used by the telemetry plane: registering every monitored port at
+        simulation start makes the incidence arrays the authoritative home
+        of their mutable state for the whole run, so a monitor sweep can
+        gather straight from the arrays.  Registration is idempotent and
+        slot-stable (the registry is append-only).
+        """
+        return [self._slot(link) for link in links]
+
+    def ensure_fresh_links(self) -> None:
+        """Bring the registry-wide link arrays up to date.
+
+        The cheap subset of :meth:`refresh` that does not touch flow
+        membership — regrows the state arrays after new registrations and
+        re-gathers capacity/liveness when some link mutated.  Telemetry
+        sweeps call this between update steps.
+        """
+        if self._registry_dirty:
+            self._refresh_registry()
+        if self._seen_state_version != RuntimeLink.state_version:
+            self._refresh_dynamic()
+
     # ------------------------------------------------------------------ #
     # flow membership (keyed by FlowTable row slot)
     # ------------------------------------------------------------------ #

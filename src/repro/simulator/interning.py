@@ -1,0 +1,49 @@
+"""Shared get-or-append intern table for the columnar stores.
+
+The array-resident control plane keeps strings and tuples out of its
+columns by interning them once and storing dense integer references — DC
+names and DC-level routes in :class:`~repro.simulator.fct.MetricsStore`,
+destinations and chosen paths in
+:class:`~repro.simulator.switch.DecisionLog`.  One :class:`Interner`
+serves all of them so the get-or-append pattern lives in a single place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+__all__ = ["Interner"]
+
+
+class Interner:
+    """Maps hashable keys to dense integer references, append-only.
+
+    ``values`` holds the interned object per reference; by default the key
+    itself, or an explicit payload when :meth:`intern` is called with one
+    (e.g. a CandidatePath keyed by its DC tuple).
+    """
+
+    __slots__ = ("_refs", "values")
+
+    def __init__(self) -> None:
+        self._refs: Dict[Hashable, int] = {}
+        self.values: List[object] = []
+
+    def intern(self, key: Hashable, value: object = None) -> int:
+        """Reference of ``key``, appending ``value`` (or the key) if new."""
+        ref = self._refs.get(key)
+        if ref is None:
+            ref = len(self.values)
+            self._refs[key] = ref
+            self.values.append(key if value is None else value)
+        return ref
+
+    def ref(self, key: Hashable, default: int = -1) -> int:
+        """Reference of ``key`` without interning (``default`` if absent)."""
+        return self._refs.get(key, default)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, ref: int) -> object:
+        return self.values[ref]

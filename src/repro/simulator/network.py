@@ -11,7 +11,9 @@ describes.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..topology.graph import Topology, TopologyError
 from ..topology.paths import PathSet, shortest_delay_path
@@ -225,6 +227,116 @@ class RuntimeNetwork:
             f"flow {demand.flow_id}: exceeded {_MAX_RESOLVE_HOPS} DCI hops "
             f"resolving {demand.src_dc}->{demand.dst_dc}"
         )
+
+    def resolve_paths_batch(
+        self, demands: Sequence[FlowDemand], times: np.ndarray
+    ) -> List[List[RuntimeLink]]:
+        """Resolve the paths of a batch of simultaneous arrivals.
+
+        Semantically identical to calling :meth:`resolve_path` once per
+        demand at its own arrival instant (``times[i]``), but the hop-by-hop
+        walk runs *per group*: demands sharing (source, destination) are
+        routed together — one liveness filter, one
+        :meth:`~repro.routing.base.Router.select_batch` call and one
+        columnar decision append per switch hop — then split by chosen next
+        hop and recursed.  The per-switch decision work becomes O(distinct
+        groups × hops) instead of O(flows × hops).
+
+        Args:
+            demands: the arriving flows, in arrival order.
+            times: per-demand decision timestamps (each flow is routed with
+                its own arrival time even when the batch drains early).
+
+        Returns:
+            One ordered runtime-link path per demand (source NIC uplink,
+            inter-DC links, destination NIC downlink), aligned with
+            ``demands``.
+        """
+        n = len(demands)
+        inter: List[List[RuntimeLink]] = [[] for _ in range(n)]
+        groups: Dict[Tuple[str, str], List[int]] = {}
+        for i, demand in enumerate(demands):
+            if demand.src_dc != demand.dst_dc:
+                groups.setdefault((demand.src_dc, demand.dst_dc), []).append(i)
+        for (src, dst), members in groups.items():
+            self._resolve_group_batch(
+                src, dst, members, demands, times, inter, {src}, 0
+            )
+
+        paths: List[List[RuntimeLink]] = []
+        for i, demand in enumerate(demands):
+            links = [self.host_link(demand.src_dc, demand.src_host, "up")]
+            links.extend(inter[i])
+            links.append(self.host_link(demand.dst_dc, demand.dst_host, "down"))
+            paths.append(links)
+        return paths
+
+    def _resolve_group_batch(
+        self,
+        current: str,
+        dst: str,
+        members: List[int],
+        demands: Sequence[FlowDemand],
+        times: np.ndarray,
+        inter: List[List[RuntimeLink]],
+        visited: set,
+        depth: int,
+    ) -> None:
+        """One hop of the grouped walk (recurses per chosen next hop)."""
+        if current == dst:
+            return
+        if depth >= _MAX_RESOLVE_HOPS:
+            raise RoutingLoopError(
+                f"flow {demands[members[0]].flow_id}: exceeded {_MAX_RESOLVE_HOPS} "
+                f"DCI hops resolving toward {dst}"
+            )
+        all_candidates = self.pathset.candidates(current, dst)
+        all_ids = self.pathset.candidate_ids(current, dst)
+        candidates = []
+        candidate_ids = []
+        for c, pid in zip(all_candidates, all_ids):
+            if c.first_hop not in visited:
+                candidates.append(c)
+                candidate_ids.append(pid)
+        if not candidates:
+            # no loop-free candidate left: commit every member to the
+            # shortest-delay remainder computed over the static topology
+            remainder = self._fallback_remainder(current, dst)
+            if remainder is None:
+                raise RoutingLoopError(
+                    f"flow {demands[members[0]].flow_id}: no route from {current} to {dst}"
+                )
+            links = [self._links[spec.key] for spec in remainder.links]
+            for i in members:
+                inter[i].extend(links)
+            return
+
+        switch = self._switches[current]
+        sub_demands = [demands[i] for i in members]
+        sub_times = times[members] if isinstance(times, np.ndarray) else np.asarray(
+            [times[i] for i in members]
+        )
+        chosen_idx, usable = switch.route_flows_batch(
+            dst, candidates, sub_demands, sub_times, path_ids=candidate_ids
+        )
+        by_hop: Dict[str, List[int]] = {}
+        chosen_l = chosen_idx.tolist()
+        for k, i in enumerate(members):
+            chosen = usable[chosen_l[k]]
+            next_dc = chosen.first_hop
+            inter[i].append(self._links[(current, next_dc)])
+            by_hop.setdefault(next_dc, []).append(i)
+        for next_dc, sub_members in by_hop.items():
+            self._resolve_group_batch(
+                next_dc,
+                dst,
+                sub_members,
+                demands,
+                times,
+                inter,
+                visited | {next_dc},
+                depth + 1,
+            )
 
     def _fallback_remainder(self, current: str, dst: str):
         """Cached shortest-delay remainder for the candidate-less fallback."""

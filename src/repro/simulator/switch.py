@@ -11,18 +11,31 @@ in the fluid model that corresponds to the single routing decision taken at
 flow-arrival time.  Port liveness is tracked here so that data-plane
 fast-failover (paper §3.4) can exclude dead ports before the router sees the
 candidate list.
+
+Decision bookkeeping is columnar: every decision lands in the switch's
+:class:`DecisionLog` (parallel numpy columns plus a small path-intern
+table), and the legacy :class:`RoutingDecision` objects are materialised
+lazily — and freshly on every access — by the :attr:`DCISwitch.decisions`
+property, so callers can no longer mutate the switch's internal state
+through the returned list.  Batched arrivals route through
+:meth:`DCISwitch.route_flows_batch`, which makes one
+:meth:`~repro.routing.base.Router.select_batch` call for the whole batch
+and appends the decisions as one columnar write.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..topology.paths import CandidatePath
 from .flow import FlowDemand
+from .interning import Interner
 from .link import RuntimeLink
 
-__all__ = ["PortSample", "DCISwitch", "RoutingDecision"]
+__all__ = ["PortSample", "DCISwitch", "RoutingDecision", "DecisionLog", "build_port_sample"]
 
 
 @dataclass(frozen=True)
@@ -52,6 +65,25 @@ class PortSample:
     time_s: float
 
 
+def build_port_sample(switch: str, next_dc: str, link: RuntimeLink, now: float) -> PortSample:
+    """Construct the compatibility :class:`PortSample` for one egress port.
+
+    Shared by the object-path sampler (:meth:`DCISwitch.sample_ports`) and
+    the telemetry plane's lazy shim so both produce identical samples.
+    """
+    return PortSample(
+        switch=switch,
+        next_dc=next_dc,
+        link_key=link.key,
+        queue_bytes=link.queue_bytes,
+        carried_bytes=link.carried_bytes,
+        cap_bps=link.cap_bps,
+        buffer_bytes=link.buffer_bytes,
+        up=link.up,
+        time_s=now,
+    )
+
+
 @dataclass(frozen=True)
 class RoutingDecision:
     """Outcome of one routing decision at one DCI switch."""
@@ -65,8 +97,153 @@ class RoutingDecision:
     time_s: float
 
 
+class DecisionLog:
+    """Columnar per-switch decision record (array-resident control plane).
+
+    One row per routing decision: flow id, decision time, an interned path
+    reference, an interned destination reference, the live candidate count
+    and the all-ports-dead fallback flag.  Columns grow by doubling;
+    :meth:`materialize` rebuilds the legacy :class:`RoutingDecision`
+    objects on demand (a fresh list every call — callers cannot mutate the
+    log through it).
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        self._n = 0
+        self.flow_id = np.empty(capacity, dtype=np.int64)
+        self.time_s = np.empty(capacity)
+        self.path_ref = np.empty(capacity, dtype=np.int64)
+        self.dst_ref = np.empty(capacity, dtype=np.int64)
+        self.num_candidates = np.empty(capacity, dtype=np.int64)
+        self.fallback = np.empty(capacity, dtype=bool)
+        #: interned chosen paths (reference -> CandidatePath); keyed by the
+        #: pathset's precomputed global path id when the caller provides
+        #: one (integer lookup, the batched hot path) and by the DC tuple
+        #: otherwise (the scalar route_flow path, ad-hoc candidates)
+        self._paths = Interner()
+        self._global_refs: Dict[int, int] = {}
+        #: interned destination DC names
+        self._dsts = Interner()
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._n
+
+    def _grow_to(self, need: int) -> None:
+        capacity = len(self.flow_id)
+        if need <= capacity:
+            return
+        while capacity < need:
+            capacity *= 2
+        for name in ("flow_id", "time_s", "path_ref", "dst_ref", "num_candidates", "fallback"):
+            old = getattr(self, name)
+            grown = np.empty(capacity, dtype=old.dtype)
+            grown[: self._n] = old[: self._n]
+            setattr(self, name, grown)
+
+    def _intern_path(self, candidate: CandidatePath, global_id: int = -1) -> int:
+        if global_id >= 0:
+            ref = self._global_refs.get(global_id)
+            if ref is None:
+                ref = self._paths.intern(candidate.dcs, candidate)
+                self._global_refs[global_id] = ref
+            return ref
+        return self._paths.intern(candidate.dcs, candidate)
+
+    # ------------------------------------------------------------------ #
+    def append(
+        self,
+        flow_id: int,
+        time_s: float,
+        chosen: CandidatePath,
+        dst_dc: str,
+        num_candidates: int,
+        fallback: bool,
+    ) -> None:
+        """Record one decision."""
+        n = self._n
+        self._grow_to(n + 1)
+        self.flow_id[n] = flow_id
+        self.time_s[n] = time_s
+        self.path_ref[n] = self._intern_path(chosen)
+        self.dst_ref[n] = self._dsts.intern(dst_dc)
+        self.num_candidates[n] = num_candidates
+        self.fallback[n] = fallback
+        self._n = n + 1
+
+    def append_batch(
+        self,
+        demands: Sequence[FlowDemand],
+        times: np.ndarray,
+        candidates: Sequence[CandidatePath],
+        chosen_idx: np.ndarray,
+        dst_dc: str,
+        fallback: bool,
+        path_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Record one batched decision (one row per demand).
+
+        Args:
+            path_ids: precomputed global path ids aligned with
+                ``candidates`` (see :meth:`PathSet.candidate_ids`); interns
+                by integer lookup when given.
+        """
+        count = len(demands)
+        n = self._n
+        self._grow_to(n + count)
+        self.flow_id[n : n + count] = [d.flow_id for d in demands]
+        self.time_s[n : n + count] = times
+        if path_ids is None:
+            path_ids = (-1,) * len(candidates)
+        refs = np.array(
+            [self._intern_path(c, g) for c, g in zip(candidates, path_ids)],
+            dtype=np.int64,
+        )
+        self.path_ref[n : n + count] = refs[chosen_idx]
+        self.dst_ref[n : n + count] = self._dsts.intern(dst_dc)
+        self.num_candidates[n : n + count] = len(candidates)
+        self.fallback[n : n + count] = fallback
+        self._n = n + count
+
+    # ------------------------------------------------------------------ #
+    def chosen_path(self, row: int) -> CandidatePath:
+        """The candidate chosen by the ``row``-th decision."""
+        return self._paths[int(self.path_ref[row])]
+
+    def first_hops(self) -> List[str]:
+        """Chosen first hop per decision (placement analysis helper)."""
+        hops = [p.first_hop for p in self._paths.values]
+        return [hops[ref] for ref in self.path_ref[: self._n].tolist()]
+
+    def times(self) -> np.ndarray:
+        """Decision times (a copy)."""
+        return self.time_s[: self._n].copy()
+
+    def materialize(self, switch: str) -> List[RoutingDecision]:
+        """Rebuild the legacy per-decision objects (a fresh list)."""
+        n = self._n
+        flow_ids = self.flow_id[:n].tolist()
+        times = self.time_s[:n].tolist()
+        path_refs = self.path_ref[:n].tolist()
+        dst_refs = self.dst_ref[:n].tolist()
+        counts = self.num_candidates[:n].tolist()
+        fallbacks = self.fallback[:n].tolist()
+        return [
+            RoutingDecision(
+                switch=switch,
+                flow_id=flow_ids[i],
+                dst_dc=self._dsts[dst_refs[i]],
+                chosen=self._paths[path_refs[i]],
+                num_candidates=counts[i],
+                fallback=fallbacks[i],
+                time_s=times[i],
+            )
+            for i in range(n)
+        ]
+
+
 class DCISwitch:
-    """Runtime DCI switch: ports + router + decision bookkeeping."""
+    """Runtime DCI switch: ports + router + columnar decision bookkeeping."""
 
     def __init__(self, dc: str, router) -> None:
         """Create the switch for datacenter ``dc`` running ``router``.
@@ -78,7 +255,7 @@ class DCISwitch:
         self.dc = dc
         self.router = router
         self._ports: Dict[str, RuntimeLink] = {}
-        self.decisions: List[RoutingDecision] = []
+        self.decision_log = DecisionLog()
         router.attach(self)
 
     # ------------------------------------------------------------------ #
@@ -105,6 +282,39 @@ class DCISwitch:
     # ------------------------------------------------------------------ #
     # routing
     # ------------------------------------------------------------------ #
+    @property
+    def decisions(self) -> List[RoutingDecision]:
+        """All routing decisions taken so far.
+
+        Materialised freshly from the columnar :attr:`decision_log` on
+        every access, so mutating the returned list cannot corrupt switch
+        state.  Prefer :attr:`decision_count` when only the count matters.
+        """
+        return self.decision_log.materialize(self.dc)
+
+    @property
+    def decision_count(self) -> int:
+        """Number of decisions taken (O(1), no materialisation)."""
+        return len(self.decision_log)
+
+    def _usable_candidates(
+        self, dst_dc: str, candidates: Sequence[CandidatePath]
+    ) -> Tuple[List[int], bool]:
+        """Exclude dead egress ports (data-plane fast-failover).
+
+        When every port is dead the full candidate list is passed through so
+        the caller can at least make progress and record the loss downstream.
+
+        Returns:
+            ``(indices, fallback)`` — positions of the usable candidates.
+        """
+        if not candidates:
+            raise ValueError(f"{self.dc}: no candidate routes toward {dst_dc}")
+        live = [j for j, c in enumerate(candidates) if self.port_up(c.first_hop)]
+        fallback = not live
+        usable = live if live else list(range(len(candidates)))
+        return usable, fallback
+
     def route_flow(
         self,
         dst_dc: str,
@@ -114,51 +324,75 @@ class DCISwitch:
     ) -> CandidatePath:
         """Pick the candidate route for a new flow toward ``dst_dc``.
 
-        Dead egress ports are excluded before the router runs (data-plane
-        fast-failover); when every port is dead the full candidate list is
-        passed through so the caller can at least make progress and record
-        the loss downstream.
+        Raises:
+            ValueError: when ``candidates`` is empty.
+        """
+        positions, fallback = self._usable_candidates(dst_dc, candidates)
+        usable = [candidates[j] for j in positions]
+        chosen = self.router.select(dst_dc, usable, demand, now)
+        self.decision_log.append(
+            flow_id=demand.flow_id,
+            time_s=now,
+            chosen=chosen,
+            dst_dc=dst_dc,
+            num_candidates=len(usable),
+            fallback=fallback,
+        )
+        return chosen
+
+    def route_flows_batch(
+        self,
+        dst_dc: str,
+        candidates: Sequence[CandidatePath],
+        demands: Sequence[FlowDemand],
+        times: np.ndarray,
+        path_ids: Optional[Sequence[int]] = None,
+    ) -> Tuple[np.ndarray, List[CandidatePath]]:
+        """Route a batch of simultaneous arrivals toward ``dst_dc``.
+
+        One liveness filter and one :meth:`Router.select_batch` call cover
+        the whole batch; each flow is still stamped with its own decision
+        time (``times[i]``).
+
+        Args:
+            path_ids: precomputed global path ids aligned with
+                ``candidates``; forwarded to the decision log so interning
+                happens by integer lookup.
+
+        Returns:
+            ``(chosen_idx, usable)`` — per-demand indices into the
+            liveness-filtered ``usable`` candidate list.
 
         Raises:
             ValueError: when ``candidates`` is empty.
         """
-        if not candidates:
-            raise ValueError(f"{self.dc}: no candidate routes toward {dst_dc}")
-        live = [c for c in candidates if self.port_up(c.first_hop)]
-        fallback = not live
-        usable = live if live else list(candidates)
-        chosen = self.router.select(dst_dc, usable, demand, now)
-        self.decisions.append(
-            RoutingDecision(
-                switch=self.dc,
-                flow_id=demand.flow_id,
-                dst_dc=dst_dc,
-                chosen=chosen,
-                num_candidates=len(usable),
-                fallback=fallback,
-                time_s=now,
-            )
+        positions, fallback = self._usable_candidates(dst_dc, candidates)
+        usable = [candidates[j] for j in positions]
+        usable_ids = (
+            [path_ids[j] for j in positions] if path_ids is not None else None
         )
-        return chosen
+        chosen_idx = self.router.select_batch(dst_dc, usable, demands, times)
+        self.decision_log.append_batch(
+            demands, times, usable, chosen_idx, dst_dc, fallback, path_ids=usable_ids
+        )
+        return chosen_idx, usable
 
     # ------------------------------------------------------------------ #
     # telemetry
     # ------------------------------------------------------------------ #
     def sample_ports(self, now: float) -> List[PortSample]:
-        """Sample every egress port and feed the router's estimator."""
+        """Sample every egress port and feed the router's estimator.
+
+        This is the object-path sampler (the scalar reference core and the
+        scenario injector's immediate liveness refresh); the array-resident
+        control plane sweeps the same values into
+        :class:`~repro.simulator.telemetry.TelemetryPlane` columns instead
+        and only builds :class:`PortSample` shims for routers that consume
+        them.
+        """
         samples = []
         for next_dc, link in self._ports.items():
-            sample = PortSample(
-                switch=self.dc,
-                next_dc=next_dc,
-                link_key=link.key,
-                queue_bytes=link.queue_bytes,
-                carried_bytes=link.carried_bytes,
-                cap_bps=link.cap_bps,
-                buffer_bytes=link.buffer_bytes,
-                up=link.up,
-                time_s=now,
-            )
+            sample = build_port_sample(self.dc, next_dc, link, now)
             samples.append(sample)
             self.router.on_port_sample(sample, now)
         return samples

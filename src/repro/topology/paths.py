@@ -107,9 +107,48 @@ class PathSet:
             )
             self._paths[(src, dst)] = cands
 
+        # precomputed integer path index: every candidate of every ordered
+        # pair gets a stable global id, so batched routing, columnar
+        # decision logs and FlowTable columns can refer to a path by one
+        # integer instead of hashing DC tuples on the hot path
+        self._path_list: List[CandidatePath] = []
+        self._path_ids: Dict[Tuple[str, ...], int] = {}
+        self._pair_ids: Dict[Tuple[str, str], Tuple[int, ...]] = {}
+        for pair, cands in self._paths.items():
+            ids = []
+            for cand in cands:
+                pid = self._path_ids.get(cand.dcs)
+                if pid is None:
+                    pid = len(self._path_list)
+                    self._path_ids[cand.dcs] = pid
+                    self._path_list.append(cand)
+                ids.append(pid)
+            self._pair_ids[pair] = tuple(ids)
+
     def candidates(self, src: str, dst: str) -> List[CandidatePath]:
         """Candidate paths from ``src`` to ``dst`` (may be empty)."""
         return list(self._paths.get((src, dst), []))
+
+    # ------------------------------------------------------------------ #
+    # integer path index
+    # ------------------------------------------------------------------ #
+    @property
+    def num_paths(self) -> int:
+        """Number of distinct candidate paths across all ordered pairs."""
+        return len(self._path_list)
+
+    def path_id(self, candidate: CandidatePath) -> int:
+        """Stable integer id of a candidate (-1 for paths outside the set)."""
+        return self._path_ids.get(candidate.dcs, -1)
+
+    def path_by_id(self, path_id: int) -> CandidatePath:
+        """The candidate path registered under ``path_id``."""
+        return self._path_list[path_id]
+
+    def candidate_ids(self, src: str, dst: str) -> Tuple[int, ...]:
+        """Global path ids of the pair's candidates, aligned with
+        :meth:`candidates` order (empty tuple for unknown pairs)."""
+        return self._pair_ids.get((src, dst), ())
 
     def pairs_with_multipath(self) -> List[Tuple[str, str]]:
         """Ordered DC pairs that have two or more candidate paths."""

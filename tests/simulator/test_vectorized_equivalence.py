@@ -29,10 +29,20 @@ from repro.topology import testbed8_pathset as _testbed8_pathset
 from repro.workloads import TrafficConfig, TrafficGenerator
 
 
-def run_sim(vectorized, scenario=None, cc="dcqcn", num_flows=160, trace_links=False, soa=True):
+def run_sim(
+    vectorized,
+    scenario=None,
+    cc="dcqcn",
+    num_flows=160,
+    trace_links=False,
+    soa=True,
+    batched=True,
+):
     topology = build_testbed8(capacity_scale=0.1)
     paths = _testbed8_pathset(topology)
-    config = SimulationConfig(seed=7, vectorized=vectorized, soa=soa)
+    config = SimulationConfig(
+        seed=7, vectorized=vectorized, soa=soa, batched_control=batched
+    )
     traffic = TrafficConfig(
         workload="websearch",
         load=0.35,
@@ -115,6 +125,13 @@ class TestStaticEquivalence:
             for pa, pb in zip(sa, sb):
                 assert dataclasses.asdict(pa) == dataclasses.asdict(pb)
 
+    def test_pr3_control_plane_bitwise_identical(self):
+        """The per-flow control plane (``batched_control=False``, the PR-3
+        benchmark baseline) stays equivalent to the batched default."""
+        batched = run_sim(vectorized=True)
+        legacy_cp = run_sim(vectorized=True, batched=False)
+        assert_results_identical(batched, legacy_cp)
+
 
 class TestScenarioEquivalence:
     """Mid-run reroutes, capacity events and refcounted link-down windows
@@ -135,6 +152,18 @@ class TestScenarioEquivalence:
         soa = run_sim(vectorized=True, soa=True, scenario=get_scenario(name))
         assert_results_identical(legacy, soa)
         assert_scenario_metrics_identical(legacy, soa)
+
+    @pytest.mark.parametrize(
+        "name", ["single-link-cut", "cascading-failure", "diurnal-surge", "rolling-maintenance"]
+    )
+    def test_canned_scenarios_pr3_control_plane(self, name):
+        """Batched arrivals + telemetry columns under every canned scenario
+        (surges, drains, maintenance windows, exact arrival/event time
+        ties) match the per-flow PR-3 control plane bit for bit."""
+        batched = run_sim(vectorized=True, scenario=get_scenario(name))
+        legacy_cp = run_sim(vectorized=True, batched=False, scenario=get_scenario(name))
+        assert_results_identical(batched, legacy_cp)
+        assert_scenario_metrics_identical(batched, legacy_cp)
 
     def test_overlapping_faults_and_capacity_events(self):
         # an explicit cut overlapping a brownout plus a surge: exercises
