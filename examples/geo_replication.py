@@ -11,6 +11,14 @@ to DC13 (eastern edge of the topology) with the Alibaba-storage flow-size
 mix, and shows how routing affects both the median replication latency and
 the tail that dominates quorum waits.
 
+The storage fleet is mid-migration between congestion controls: 80 % of the
+replication streams still run DCQCN while 20 % already run HPCC
+(``DEFAULT_CC_MIX``, assigned per flow deterministically from the seed).
+The whole run executes on the vectorized structure-of-arrays core — the
+default ``ExperimentSpec`` configuration — where a heterogeneous fleet is
+advanced through per-class in-place column kernels (DESIGN.md, "Congestion
+control (arrays)").
+
 Run with::
 
     python examples/geo_replication.py [num_flows]
@@ -21,7 +29,12 @@ from __future__ import annotations
 import sys
 
 from repro.analysis import slowdown_table
-from repro.experiments import CASE_STUDY_PAIRS, ExperimentRunner, ExperimentSpec
+from repro.experiments import (
+    CASE_STUDY_PAIRS,
+    DEFAULT_CC_MIX,
+    ExperimentRunner,
+    ExperimentSpec,
+)
 
 
 def main(num_flows: int = 1200) -> None:
@@ -31,15 +44,16 @@ def main(num_flows: int = 1200) -> None:
         topology="bso13",
         workload="alistorage",
         load=0.5,
-        cc="dcqcn",
+        cc_mix=DEFAULT_CC_MIX,    # 80% DCQCN + 20% HPCC, mid-migration
         num_flows=num_flows,
         pairs=CASE_STUDY_PAIRS,   # DC1 <-> DC13, the continent-spanning pair
         seed=7,
+        vectorized=True,          # SoA core: grouped in-place CC kernels
     )
 
     print(
         f"Replicating {num_flows} storage writes between DC1 and DC13 "
-        "(AliStorage mix, 50% load) ..."
+        "(AliStorage mix, 50% load, 80% DCQCN + 20% HPCC fleet) ..."
     )
     runs = runner.run_router_comparison(base, ["lcmp", "ecmp", "ucmp", "redte"])
 

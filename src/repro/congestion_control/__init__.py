@@ -3,21 +3,40 @@
 LCMP is orthogonal to end-host congestion control; these rate-based models
 let the evaluation exercise every CC the paper tests underneath every
 routing algorithm.  Use :func:`make_cc_factory` to obtain the per-flow
-factory the simulator expects.
+factory the simulator expects, or :func:`make_mixed_cc_factory` for a
+heterogeneous fleet (per-flow algorithm assignment, deterministic in the
+seed).  Every model keeps its state in declarative FlowTable column blocks
+(:attr:`CongestionControl.cc_columns`) with in-place slot kernels — see
+DESIGN.md, "Congestion control (arrays)".
 """
 
-from .base import CCFactory, CongestionControl, available_ccs, make_cc_factory, register_cc
+from .base import (
+    CCColumn,
+    CCFactory,
+    CongestionControl,
+    available_ccs,
+    cc_param,
+    cc_state,
+    make_cc_factory,
+    register_cc,
+)
 from .dcqcn import DCQCN
 from .dctcp import DCTCP
 from .hpcc import HPCC
 from .ideal import FixedRate, IdealCC
+from .mix import MixedCCFactory, make_mixed_cc_factory
 from .timely import Timely
 
 __all__ = [
     "CongestionControl",
+    "CCColumn",
+    "cc_state",
+    "cc_param",
     "CCFactory",
     "available_ccs",
     "make_cc_factory",
+    "MixedCCFactory",
+    "make_mixed_cc_factory",
     "register_cc",
     "DCQCN",
     "HPCC",

@@ -8,26 +8,110 @@ reacts to the delayed :class:`~repro.simulator.flow.FeedbackSignal` the fluid
 simulation delivers one path-RTT after congestion occurred, and performs its
 periodic rate-recovery behaviour in :meth:`CongestionControl.on_interval`.
 
-Feedback plumbing with the vectorized simulator core: the fluid simulation
-builds every step's :class:`~repro.simulator.flow.FeedbackSignal` from the
-flow×link incidence arrays (:mod:`repro.simulator.incidence`) and still
-delivers them per flow — controllers are stateful per-flow objects — but
-advances all controllers of one class through
-:meth:`CongestionControl.advance_batch`.  Controllers are mutually
-independent, so the base implementation just loops :meth:`on_interval`;
-algorithms whose periodic behaviour runs many sub-interval timer iterations
-per step (DCQCN) override it with an array implementation that performs the
-exact same per-flow float operations.
+Array residency (the SoA simulator core): a congestion-control class
+declares its per-flow state and its static parameters as a **declarative
+column-block spec** (:attr:`CongestionControl.cc_columns`, built from
+:func:`cc_state` / :func:`cc_param` entries).  From that spec the base class
+derives everything the simulation's
+:class:`~repro.simulator.flow_table.FlowTable` needs:
+
+* the block layout (``table_block_spec``: column name -> numpy dtype),
+* bound-view properties — while an instance is bound to a table row, each
+  spec'd state attribute reads and writes its block column, so scalar
+  methods called on bound instances (the repeated-feedback slow path,
+  tests) observe exactly the table-resident state,
+* :meth:`CongestionControl._push_state` / ``_pull_state`` — state moves
+  into the columns at bind time and back into the instance at release.
+
+Each class then supplies in-place :meth:`advance_batch_slots` /
+:meth:`feedback_batch_slots` kernels operating on its block columns; the
+fluid simulation dispatches the whole fleet through them, grouped per class,
+so no per-flow Python loop survives on the hot step.  Kernels must stay
+bit-for-bit identical to the scalar :meth:`on_interval` / :meth:`on_feedback`
+per row (the equivalence-suite contract; see DESIGN.md, "Congestion control
+(arrays)").  The object-level :meth:`advance_batch` / :meth:`feedback_batch`
+remain the dispatch points of the object-resident legacy core.
 """
 
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import Callable, Dict, Sequence, Type
 
 from ..simulator.flow import FeedbackSignal
 
-__all__ = ["CongestionControl", "CCFactory", "register_cc", "make_cc_factory", "available_ccs"]
+__all__ = [
+    "CCColumn",
+    "cc_state",
+    "cc_param",
+    "CongestionControl",
+    "CCFactory",
+    "register_cc",
+    "make_cc_factory",
+    "available_ccs",
+]
+
+
+@dataclass(frozen=True)
+class CCColumn:
+    """One column of a congestion-control class's FlowTable block.
+
+    Attributes:
+        attr: instance attribute the column mirrors.
+        dtype: numpy dtype string of the column.
+        kind: ``"state"`` (mutable per-flow algorithm state, moved back into
+            the instance at release) or ``"param"`` (static per-flow
+            parameter, replicated into the row at bind so kernels never
+            gather objects; never pulled back).
+        py: Python type a bound read converts to (``float``/``int``/``bool``).
+    """
+
+    attr: str
+    dtype: str = "f8"
+    kind: str = "state"
+    py: type = float
+
+
+def cc_state(attr: str, dtype: str = "f8", py: type = float) -> CCColumn:
+    """Declare a mutable state column mirroring instance attribute ``attr``."""
+    return CCColumn(attr, dtype, "state", py)
+
+
+def cc_param(attr: str, dtype: str = "f8") -> CCColumn:
+    """Declare a static parameter column filled from attribute ``attr``."""
+    return CCColumn(attr, dtype, "param", float)
+
+
+def _install_state_property(cls: type, column: str, col: CCColumn) -> None:
+    """Give ``cls`` a bound-view property for one spec'd state attribute.
+
+    Unbound instances keep the value in a shadow attribute (plain Python
+    state, the scalar reference path); bound instances read and write the
+    row of their class's column block, converting reads back through
+    ``col.py`` so scalar arithmetic on bound state stays plain-float.
+    """
+    shadow = "_cc_" + column
+    py = col.py
+
+    def getter(self):
+        t = self._table
+        if t is None:
+            return getattr(self, shadow)
+        return py(getattr(t.cc_block(type(self)), column)[self._slot])
+
+    def setter(self, value):
+        t = self._table
+        if t is None:
+            setattr(self, shadow, value)
+        else:
+            getattr(t.cc_block(type(self)), column)[self._slot] = value
+
+    setattr(
+        cls,
+        col.attr,
+        property(getter, setter, doc=f"Spec'd CC state (block column {column!r})."),
+    )
 
 
 class CongestionControl(abc.ABC):
@@ -40,11 +124,27 @@ class CongestionControl(abc.ABC):
     #: registry name, e.g. ``"dcqcn"``
     name: str = "base"
 
+    #: declarative block spec: column name -> :class:`CCColumn` (built with
+    #: :func:`cc_state` / :func:`cc_param`).  Declaring it in a subclass
+    #: derives :attr:`table_block_spec`, the bound-view properties and the
+    #: generic push/pull; empty = the class keeps no block and the
+    #: slot-batch hooks fall back to object dispatch
+    cc_columns: Dict[str, CCColumn] = {}
+
     #: column name -> numpy dtype string of the per-class state this
     #: algorithm keeps in the simulation's FlowTable block (see
-    #: :mod:`repro.simulator.flow_table`); empty = state stays on the
-    #: instance and the slot-batch hooks fall back to object dispatch
+    #: :mod:`repro.simulator.flow_table`); derived from :attr:`cc_columns`
     table_block_spec: Dict[str, str] = {}
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        columns = cls.__dict__.get("cc_columns")
+        if not columns:
+            return
+        cls.table_block_spec = {name: col.dtype for name, col in columns.items()}
+        for name, col in columns.items():
+            if col.kind == "state":
+                _install_state_property(cls, name, col)
 
     def __init__(self, line_rate_bps: float, base_rtt_s: float, min_rate_bps: float = 1e6):
         """Create a controller.
@@ -105,9 +205,9 @@ class CongestionControl(abc.ABC):
     def bind_table(self, table, slot: int) -> None:
         """Move this controller's mutable state into ``table`` row ``slot``.
 
-        Subclasses with a :attr:`table_block_spec` override
-        :meth:`_push_state` / :meth:`_pull_state` to move their block
-        columns; the base class moves the sending rate and feedback count.
+        The base class moves the sending rate and feedback count; the
+        spec-derived :meth:`_push_state` / :meth:`_pull_state` move the
+        class's :attr:`cc_columns` block.
         """
         table.cc_rate_bps[slot] = self._rate_bps
         table.feedback_count[slot] = self._fb_count
@@ -128,10 +228,31 @@ class CongestionControl(abc.ABC):
         self._pull_state(table, slot)
 
     def _push_state(self, table, slot: int) -> None:
-        """Write algorithm state into the class's block columns (hook)."""
+        """Write spec'd state and parameters into the class's block columns.
+
+        Derived from :attr:`cc_columns`; runs before the instance is marked
+        bound, so state attributes still read their unbound shadow values.
+        """
+        columns = type(self).cc_columns
+        if not columns:
+            return
+        block = table.cc_block(type(self))
+        for name, col in columns.items():
+            getattr(block, name)[slot] = getattr(self, col.attr)
 
     def _pull_state(self, table, slot: int) -> None:
-        """Read algorithm state back from the block columns (hook)."""
+        """Read spec'd state back from the block columns (params stay).
+
+        Runs after the instance is marked unbound, so assigning the state
+        attributes lands in the shadow storage.
+        """
+        columns = type(self).cc_columns
+        if not columns:
+            return
+        block = table.cc_block(type(self))
+        for name, col in columns.items():
+            if col.kind == "state":
+                setattr(self, col.attr, col.py(getattr(block, name)[slot]))
 
     # ------------------------------------------------------------------ #
     @abc.abstractmethod

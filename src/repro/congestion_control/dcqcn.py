@@ -18,7 +18,7 @@ from typing import Sequence
 import numpy as np
 
 from ..simulator.flow import FeedbackSignal
-from .base import CongestionControl, register_cc
+from .base import CongestionControl, cc_param, cc_state, register_cc
 
 __all__ = ["DCQCN"]
 
@@ -40,25 +40,25 @@ class DCQCN(CongestionControl):
 
     name = "dcqcn"
 
-    #: FlowTable block columns: algorithm state + static parameters
+    #: declarative FlowTable block: algorithm state + static parameters
     #: (parameters are replicated per row so the masked column math never
     #: needs a per-object gather; ``rate_bps`` lives in the table's core
     #: ``cc_rate_bps`` column shared by every CC class)
-    table_block_spec = {
-        "alpha": "f8",
-        "target": "f8",
-        "t_alpha": "f8",
-        "t_inc": "f8",
-        "stage": "f8",
-        "congested": "?",
-        "p_interval": "f8",
-        "p_g": "f8",
-        "p_inc": "f8",
-        "p_line": "f8",
-        "p_ai": "f8",
-        "p_hai": "f8",
-        "p_floor": "f8",
-        "p_thresh": "f8",
+    cc_columns = {
+        "alpha": cc_state("alpha"),
+        "target": cc_state("target_rate_bps"),
+        "t_alpha": cc_state("_time_since_alpha_update"),
+        "t_inc": cc_state("_time_since_increase"),
+        "stage": cc_state("_increase_stage", py=int),
+        "congested": cc_state("_congested_recently", dtype="?", py=bool),
+        "p_interval": cc_param("alpha_resume_interval_s"),
+        "p_g": cc_param("g"),
+        "p_inc": cc_param("increase_timer_s"),
+        "p_line": cc_param("line_rate_bps"),
+        "p_ai": cc_param("rate_ai_bps"),
+        "p_hai": cc_param("rate_hai_bps"),
+        "p_floor": cc_param("min_rate_bps"),
+        "p_thresh": cc_param("ecn_threshold"),
     }
 
     def __init__(
@@ -117,127 +117,8 @@ class DCQCN(CongestionControl):
     #: distinct parameterisation ever constructed)
     _PARAM_CACHE: dict = {}
 
-    # ------------------------------------------------------------------ #
-    # FlowTable views (see repro.simulator.flow_table)
-    # ------------------------------------------------------------------ #
-    def _push_state(self, table, slot: int) -> None:
-        block = table.cc_block(DCQCN)
-        block.alpha[slot] = self._sh_alpha
-        block.target[slot] = self._sh_target
-        block.t_alpha[slot] = self._sh_t_alpha
-        block.t_inc[slot] = self._sh_t_inc
-        block.stage[slot] = self._sh_stage
-        block.congested[slot] = self._sh_congested
-        params = self._batch_params
-        block.p_interval[slot] = params[0]
-        block.p_g[slot] = params[1]
-        block.p_inc[slot] = params[2]
-        block.p_line[slot] = params[3]
-        block.p_ai[slot] = params[4]
-        block.p_hai[slot] = params[5]
-        block.p_floor[slot] = params[6]
-        block.p_thresh[slot] = params[7]
-
-    def _pull_state(self, table, slot: int) -> None:
-        block = table.cc_block(DCQCN)
-        self._sh_alpha = float(block.alpha[slot])
-        self._sh_target = float(block.target[slot])
-        self._sh_t_alpha = float(block.t_alpha[slot])
-        self._sh_t_inc = float(block.t_inc[slot])
-        self._sh_stage = int(block.stage[slot])
-        self._sh_congested = bool(block.congested[slot])
-
-    @property
-    def alpha(self) -> float:
-        """EWMA of the observed marking level."""
-        t = self._table
-        if t is None:
-            return self._sh_alpha
-        return t.cc_block(DCQCN).alpha[self._slot]
-
-    @alpha.setter
-    def alpha(self, value: float) -> None:
-        t = self._table
-        if t is None:
-            self._sh_alpha = value
-        else:
-            t.cc_block(DCQCN).alpha[self._slot] = value
-
-    @property
-    def target_rate_bps(self) -> float:
-        """Rate the staged recovery climbs toward."""
-        t = self._table
-        if t is None:
-            return self._sh_target
-        return t.cc_block(DCQCN).target[self._slot]
-
-    @target_rate_bps.setter
-    def target_rate_bps(self, value: float) -> None:
-        t = self._table
-        if t is None:
-            self._sh_target = value
-        else:
-            t.cc_block(DCQCN).target[self._slot] = value
-
-    @property
-    def _time_since_alpha_update(self) -> float:
-        t = self._table
-        if t is None:
-            return self._sh_t_alpha
-        return t.cc_block(DCQCN).t_alpha[self._slot]
-
-    @_time_since_alpha_update.setter
-    def _time_since_alpha_update(self, value: float) -> None:
-        t = self._table
-        if t is None:
-            self._sh_t_alpha = value
-        else:
-            t.cc_block(DCQCN).t_alpha[self._slot] = value
-
-    @property
-    def _time_since_increase(self) -> float:
-        t = self._table
-        if t is None:
-            return self._sh_t_inc
-        return t.cc_block(DCQCN).t_inc[self._slot]
-
-    @_time_since_increase.setter
-    def _time_since_increase(self, value: float) -> None:
-        t = self._table
-        if t is None:
-            self._sh_t_inc = value
-        else:
-            t.cc_block(DCQCN).t_inc[self._slot] = value
-
-    @property
-    def _increase_stage(self) -> int:
-        t = self._table
-        if t is None:
-            return self._sh_stage
-        return int(t.cc_block(DCQCN).stage[self._slot])
-
-    @_increase_stage.setter
-    def _increase_stage(self, value: int) -> None:
-        t = self._table
-        if t is None:
-            self._sh_stage = value
-        else:
-            t.cc_block(DCQCN).stage[self._slot] = value
-
-    @property
-    def _congested_recently(self) -> bool:
-        t = self._table
-        if t is None:
-            return self._sh_congested
-        return bool(t.cc_block(DCQCN).congested[self._slot])
-
-    @_congested_recently.setter
-    def _congested_recently(self, value: bool) -> None:
-        t = self._table
-        if t is None:
-            self._sh_congested = value
-        else:
-            t.cc_block(DCQCN).congested[self._slot] = value
+    # The FlowTable views (bound-state properties, push/pull at bind and
+    # release) are derived from :attr:`cc_columns` by the base class.
 
     @classmethod
     def _gather_params(cls, controllers, *columns):

@@ -9,17 +9,38 @@ the fluid model.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..simulator.flow import FeedbackSignal
-from .base import CongestionControl, register_cc
+from .base import CongestionControl, cc_param, cc_state, register_cc
 
 __all__ = ["DCTCP"]
 
 
 @register_cc
 class DCTCP(CongestionControl):
-    """Rate-based DCTCP model driven by the delayed ECN fraction."""
+    """Rate-based DCTCP model driven by the delayed ECN fraction.
+
+    Algorithm state (``alpha``, the per-RTT ECN accumulator and sample
+    count, the window timer) and the static parameters are block-resident
+    while bound to a :class:`~repro.simulator.flow_table.FlowTable`; the
+    slot-batch kernels below run the exact scalar arithmetic as in-place
+    masked column operations.
+    """
 
     name = "dctcp"
+
+    cc_columns = {
+        "alpha": cc_state("alpha"),
+        "ecn_acc": cc_state("_ecn_accumulator"),
+        "ecn_n": cc_state("_ecn_samples", dtype="i8", py=int),
+        "t_win": cc_state("_time_since_window_update"),
+        "p_g": cc_param("g"),
+        "p_mss": cc_param("mss_bytes"),
+        "p_rtt": cc_param("base_rtt_s"),
+        "p_line": cc_param("line_rate_bps"),
+        "p_floor": cc_param("min_rate_bps"),
+    }
 
     def __init__(
         self,
@@ -71,3 +92,58 @@ class DCTCP(CongestionControl):
             # one segment per RTT, expressed as a rate increment
             self.rate_bps += self.mss_bytes * 8.0 / rtt
         self._clamp()
+
+    # ------------------------------------------------------------------ #
+    # FlowTable slot batches: in-place column kernels, lane-for-lane
+    # identical to on_feedback / on_interval above.
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def feedback_batch_slots(
+        cls, table, slots, generated_s, ecn, util, rtt, qd, now
+    ) -> None:
+        """In-place :meth:`on_feedback` over FlowTable rows ``slots``."""
+        if not len(slots):
+            return
+        block = table.cc_block(cls)
+        table.feedback_count[slots] += 1
+        block.ecn_acc[slots] += np.asarray(ecn)
+        block.ecn_n[slots] += 1
+
+    @classmethod
+    def advance_batch_slots(cls, table, slots, dt: float, now: float) -> None:
+        """In-place :meth:`on_interval` over FlowTable rows ``slots``."""
+        if not len(slots):
+            return
+        block = table.cc_block(cls)
+        t_win = block.t_win[slots] + dt
+        rtt = np.maximum(block.p_rtt[slots], 1e-6)
+        due = t_win >= rtt
+        if not due.any():
+            block.t_win[slots] = t_win
+            return
+
+        acc = block.ecn_acc[slots]
+        n = block.ecn_n[slots]
+        marked = np.zeros(len(slots))
+        np.divide(acc, n, out=marked, where=n > 0)
+
+        g = block.p_g[slots]
+        alpha = block.alpha[slots]
+        alpha = np.where(due, (1 - g) * alpha + g * marked, alpha)
+
+        rate = table.cc_rate_bps[slots]
+        cut = due & (marked > 0)
+        grow = due & ~(marked > 0)
+        rate = np.where(cut, rate * (1 - alpha / 2.0), rate)
+        rate = np.where(grow, rate + block.p_mss[slots] * 8.0 / rtt, rate)
+        rate = np.where(
+            due,
+            np.minimum(block.p_line[slots], np.maximum(block.p_floor[slots], rate)),
+            rate,
+        )
+
+        block.t_win[slots] = np.where(due, 0.0, t_win)
+        block.ecn_acc[slots] = np.where(due, 0.0, acc)
+        block.ecn_n[slots] = np.where(due, 0, n)
+        block.alpha[slots] = alpha
+        table.cc_rate_bps[slots] = rate

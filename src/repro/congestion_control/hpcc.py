@@ -9,17 +9,36 @@ the path, which is exactly the quantity HPCC's window update reacts to.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..simulator.flow import FeedbackSignal
-from .base import CongestionControl, register_cc
+from .base import CongestionControl, cc_param, cc_state, register_cc
 
 __all__ = ["HPCC"]
 
 
 @register_cc
 class HPCC(CongestionControl):
-    """Rate-based HPCC model driven by max-hop utilisation telemetry."""
+    """Rate-based HPCC model driven by max-hop utilisation telemetry.
+
+    The reference rate and AI stage are block-resident while bound to a
+    :class:`~repro.simulator.flow_table.FlowTable`; the slot-batch feedback
+    kernel runs the exact scalar window update as in-place masked column
+    operations.  HPCC is purely ACK-clocked, so its periodic kernel is a
+    no-op like :meth:`on_interval`.
+    """
 
     name = "hpcc"
+
+    cc_columns = {
+        "ref": cc_state("_reference_rate_bps"),
+        "stage": cc_state("_stage", dtype="i8", py=int),
+        "p_eta": cc_param("eta"),
+        "p_maxstage": cc_param("max_stage", dtype="i8"),
+        "p_wai": cc_param("wai_bps"),
+        "p_line": cc_param("line_rate_bps"),
+        "p_floor": cc_param("min_rate_bps"),
+    }
 
     def __init__(
         self,
@@ -66,3 +85,37 @@ class HPCC(CongestionControl):
 
     def on_interval(self, dt: float, now: float) -> None:
         """HPCC is purely ACK-clocked; nothing to do between feedback."""
+
+    # ------------------------------------------------------------------ #
+    # FlowTable slot batches: in-place column kernels, lane-for-lane
+    # identical to on_feedback / on_interval above.
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def feedback_batch_slots(
+        cls, table, slots, generated_s, ecn, util, rtt, qd, now
+    ) -> None:
+        """In-place :meth:`on_feedback` over FlowTable rows ``slots``."""
+        if not len(slots):
+            return
+        block = table.cc_block(cls)
+        table.feedback_count[slots] += 1
+
+        utilization = np.maximum(np.asarray(util), 1e-6)
+        eta = block.p_eta[slots]
+        wai = block.p_wai[slots]
+        stage = block.stage[slots]
+        ref = block.ref[slots]
+
+        adjust = (utilization > eta) | (stage >= block.p_maxstage[slots])
+        ref = np.where(adjust, ref * (eta / utilization) + wai, ref + wai)
+        stage = np.where(adjust, 0, stage + 1)
+        # rate = clamp(ref); the reference rate then snaps to the clamped rate
+        rate = np.minimum(block.p_line[slots], np.maximum(block.p_floor[slots], ref))
+
+        block.ref[slots] = rate
+        block.stage[slots] = stage
+        table.cc_rate_bps[slots] = rate
+
+    @classmethod
+    def advance_batch_slots(cls, table, slots, dt: float, now: float) -> None:
+        """HPCC is purely ACK-clocked; the periodic kernel is a no-op."""

@@ -8,8 +8,10 @@ instantly matches the bottleneck's fair share using un-delayed feedback
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..simulator.flow import FeedbackSignal
-from .base import CongestionControl, register_cc
+from .base import CongestionControl, cc_param, register_cc
 
 __all__ = ["FixedRate", "IdealCC"]
 
@@ -27,6 +29,22 @@ class FixedRate(CongestionControl):
     def on_interval(self, dt: float, now: float) -> None:
         """Nothing to do."""
 
+    # ------------------------------------------------------------------ #
+    # FlowTable slot batches: no algorithm state, so the kernels only
+    # mirror the feedback bookkeeping.
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def feedback_batch_slots(
+        cls, table, slots, generated_s, ecn, util, rtt, qd, now
+    ) -> None:
+        """In-place :meth:`on_feedback` over FlowTable rows ``slots``."""
+        if len(slots):
+            table.feedback_count[slots] += 1
+
+    @classmethod
+    def advance_batch_slots(cls, table, slots, dt: float, now: float) -> None:
+        """Nothing to do."""
+
 
 @register_cc
 class IdealCC(CongestionControl):
@@ -34,9 +52,18 @@ class IdealCC(CongestionControl):
 
     Not a real protocol — it ignores the fact that its feedback is an RTT
     old — but useful as a best-case reference in sensitivity tests.
+
+    The model is stateless beyond the sending rate, so its block carries
+    only the replicated parameters the in-place slot kernels read.
     """
 
     name = "ideal"
+
+    cc_columns = {
+        "p_target": cc_param("target_utilization"),
+        "p_line": cc_param("line_rate_bps"),
+        "p_floor": cc_param("min_rate_bps"),
+    }
 
     def __init__(
         self,
@@ -59,3 +86,33 @@ class IdealCC(CongestionControl):
         """Gentle probing upward so the flow reclaims freed capacity."""
         self.rate_bps *= 1.001
         self._clamp()
+
+    # ------------------------------------------------------------------ #
+    # FlowTable slot batches: in-place column kernels, lane-for-lane
+    # identical to on_feedback / on_interval above.
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def feedback_batch_slots(
+        cls, table, slots, generated_s, ecn, util, rtt, qd, now
+    ) -> None:
+        """In-place :meth:`on_feedback` over FlowTable rows ``slots``."""
+        if not len(slots):
+            return
+        block = table.cc_block(cls)
+        table.feedback_count[slots] += 1
+        utilization = np.maximum(np.asarray(util), 1e-6)
+        rate = table.cc_rate_bps[slots] * (block.p_target[slots] / utilization)
+        table.cc_rate_bps[slots] = np.minimum(
+            block.p_line[slots], np.maximum(block.p_floor[slots], rate)
+        )
+
+    @classmethod
+    def advance_batch_slots(cls, table, slots, dt: float, now: float) -> None:
+        """In-place :meth:`on_interval` over FlowTable rows ``slots``."""
+        if not len(slots):
+            return
+        block = table.cc_block(cls)
+        rate = table.cc_rate_bps[slots] * 1.001
+        table.cc_rate_bps[slots] = np.minimum(
+            block.p_line[slots], np.maximum(block.p_floor[slots], rate)
+        )

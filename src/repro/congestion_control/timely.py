@@ -9,17 +9,41 @@ the input signal.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..simulator.flow import FeedbackSignal
-from .base import CongestionControl, register_cc
+from .base import CongestionControl, cc_param, cc_state, register_cc
 
 __all__ = ["Timely"]
 
 
 @register_cc
 class Timely(CongestionControl):
-    """Rate-based TIMELY model driven by delayed RTT samples."""
+    """Rate-based TIMELY model driven by delayed RTT samples.
+
+    The RTT-gradient state (previous sample, difference EWMA, HAI counter)
+    is block-resident while bound to a
+    :class:`~repro.simulator.flow_table.FlowTable`; the slot-batch feedback
+    kernel runs the exact scalar gradient update as in-place masked column
+    operations.  TIMELY is ACK-clocked, so its periodic kernel is a no-op
+    like :meth:`on_interval`.
+    """
 
     name = "timely"
+
+    cc_columns = {
+        "prev_rtt": cc_state("_prev_rtt_s"),
+        "rtt_diff": cc_state("_rtt_diff_s"),
+        "hai": cc_state("_hai_counter", dtype="i8", py=int),
+        "p_ewma": cc_param("ewma_alpha"),
+        "p_add": cc_param("addstep_bps"),
+        "p_beta": cc_param("beta"),
+        "p_tlow": cc_param("t_low_s"),
+        "p_thigh": cc_param("t_high_s"),
+        "p_brtt": cc_param("base_rtt_s"),
+        "p_line": cc_param("line_rate_bps"),
+        "p_floor": cc_param("min_rate_bps"),
+    }
 
     def __init__(
         self,
@@ -82,3 +106,53 @@ class Timely(CongestionControl):
 
     def on_interval(self, dt: float, now: float) -> None:
         """TIMELY is ACK-clocked; nothing to do between feedback."""
+
+    # ------------------------------------------------------------------ #
+    # FlowTable slot batches: in-place column kernels, lane-for-lane
+    # identical to on_feedback / on_interval above.
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def feedback_batch_slots(
+        cls, table, slots, generated_s, ecn, util, rtt, qd, now
+    ) -> None:
+        """In-place :meth:`on_feedback` over FlowTable rows ``slots``."""
+        if not len(slots):
+            return
+        block = table.cc_block(cls)
+        table.feedback_count[slots] += 1
+
+        rtt = np.asarray(rtt)
+        new_diff = rtt - block.prev_rtt[slots]
+        block.prev_rtt[slots] = rtt
+        ewma = block.p_ewma[slots]
+        diff = ewma * block.rtt_diff[slots] + (1 - ewma) * new_diff
+        block.rtt_diff[slots] = diff
+        min_rtt = np.maximum(block.p_brtt[slots], 1e-6)
+        gradient = diff / min_rtt
+
+        # the four exclusive scalar branches as lane masks
+        low = rtt < block.p_tlow[slots]
+        t_high = block.p_thigh[slots]
+        high = ~low & (rtt > t_high)
+        mid = ~low & ~high
+        increase = low | (mid & (gradient <= 0))
+        grad_decrease = mid & (gradient > 0)
+
+        hai = block.hai[slots]
+        hai = np.where(increase, hai + 1, 0)
+        beta = block.p_beta[slots]
+        rate = table.cc_rate_bps[slots]
+        step = block.p_add[slots] * np.where(hai >= 5, 5.0, 1.0)
+        rate = np.where(increase, rate + step, rate)
+        rate = np.where(high, rate * (1 - beta * (1 - t_high / rtt)), rate)
+        rate = np.where(
+            grad_decrease, rate * (1 - beta * np.minimum(1.0, gradient)), rate
+        )
+        rate = np.minimum(block.p_line[slots], np.maximum(block.p_floor[slots], rate))
+
+        block.hai[slots] = hai
+        table.cc_rate_bps[slots] = rate
+
+    @classmethod
+    def advance_batch_slots(cls, table, slots, dt: float, now: float) -> None:
+        """TIMELY is ACK-clocked; the periodic kernel is a no-op."""

@@ -23,9 +23,11 @@ __all__ = [
     "ALL_ROUTERS",
     "WORKLOAD_NAMES",
     "CC_NAMES",
+    "DEFAULT_CC_MIX",
     "TESTBED_ENDPOINT_PAIRS",
     "CASE_STUDY_PAIRS",
     "ExperimentSpec",
+    "mixed_fleet_spec",
 ]
 
 #: capacity scale used by all experiment specs (see DESIGN.md)
@@ -40,6 +42,9 @@ ALL_ROUTERS: Tuple[str, ...] = ("lcmp",) + BASELINE_ROUTERS
 WORKLOAD_NAMES: Tuple[str, ...] = ("websearch", "alistorage", "fbhadoop")
 #: the congestion controls of §6.3.2 (DCQCN is the default everywhere)
 CC_NAMES: Tuple[str, ...] = ("dcqcn", "hpcc", "timely", "dctcp")
+#: canned heterogeneous fleet: a datacenter mid-migration from DCQCN to
+#: HPCC (per-flow assignment, deterministic in the spec's seed)
+DEFAULT_CC_MIX: Tuple[Tuple[str, float], ...] = (("dcqcn", 0.8), ("hpcc", 0.2))
 #: all-to-all traffic between the testbed endpoints DC1 and DC8
 TESTBED_ENDPOINT_PAIRS: Tuple[Tuple[str, str], ...] = (("DC1", "DC8"), ("DC8", "DC1"))
 #: the representative multi-path pair of the 13-DC case study (§6.2.2)
@@ -58,6 +63,10 @@ class ExperimentSpec:
         workload: flow-size distribution name.
         load: offered load fraction (0.3 / 0.5 / 0.8).
         cc: congestion-control name.
+        cc_mix: optional heterogeneous fleet — ``((name, weight), ...)``
+            pairs (e.g. :data:`DEFAULT_CC_MIX`); each flow's algorithm is
+            assigned deterministically from the spec's seed and the flow
+            id, overriding :attr:`cc`.  ``None`` keeps the uniform fleet.
         num_flows: number of flows to generate.
         pairs: ``"all_to_all"`` or an explicit tuple of ordered DC pairs.
         lcmp_config: LCMP weight configuration (ignored by baselines).
@@ -81,6 +90,7 @@ class ExperimentSpec:
     workload: str = "websearch"
     load: float = 0.3
     cc: str = "dcqcn"
+    cc_mix: object = None
     num_flows: int = 2000
     pairs: object = TESTBED_ENDPOINT_PAIRS
     lcmp_config: Optional[LCMPConfig] = None
@@ -129,5 +139,39 @@ class ExperimentSpec:
             raise ValueError("num_flows must be positive")
         if self.capacity_scale <= 0:
             raise ValueError("capacity_scale must be positive")
+        if self.cc_mix is not None:
+            from ..congestion_control import available_ccs
+
+            # accept the same shapes make_mixed_cc_factory does: a mapping
+            # {name: weight} or a sequence of (name, weight) pairs
+            mix = self.cc_mix
+            components = (
+                tuple(mix.items()) if hasattr(mix, "items") else tuple(mix)
+            )
+            if not components:
+                raise ValueError("cc_mix must name at least one component")
+            known = set(available_ccs())
+            for name, weight in components:
+                if isinstance(name, str) and name not in known:
+                    raise ValueError(
+                        f"unknown congestion control {name!r} in cc_mix; "
+                        f"available: {sorted(known)}"
+                    )
+                if float(weight) <= 0:
+                    raise ValueError("cc_mix weights must be positive")
         if isinstance(self.scenario, str):
             self.resolve_scenario()
+
+
+def mixed_fleet_spec(name: str = "mixed-fleet", **overrides) -> ExperimentSpec:
+    """A canned heterogeneous-CC experiment (80 % DCQCN + 20 % HPCC).
+
+    The per-flow assignment is deterministic in the spec's seed, so the
+    same spec reproduces the same fleet on every simulator core and in
+    every worker of a parallel sweep.  Any :class:`ExperimentSpec` field
+    can be overridden::
+
+        spec = mixed_fleet_spec(load=0.5, num_flows=1000, router="lcmp")
+    """
+    overrides.setdefault("cc_mix", DEFAULT_CC_MIX)
+    return ExperimentSpec(name=name, **overrides)

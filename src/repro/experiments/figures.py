@@ -38,6 +38,7 @@ from ..core.resource_model import per_new_flow_ops
 from .configs import (
     ALL_ROUTERS,
     CASE_STUDY_PAIRS,
+    DEFAULT_CC_MIX,
     LOADS,
     TESTBED_ENDPOINT_PAIRS,
     WORKLOAD_NAMES,
@@ -396,30 +397,40 @@ def figure10(
     ccs: Sequence[str] = ("hpcc", "timely", "dctcp"),
     seed: int = 10,
     runner: Optional[ExperimentRunner] = None,
+    include_mixed: bool = True,
 ) -> FigureResult:
-    """CC orthogonality (Fig. 10): HPCC / TIMELY / DCTCP under WebSearch, 30 %."""
+    """CC orthogonality (Fig. 10): HPCC / TIMELY / DCTCP under WebSearch, 30 %.
+
+    With ``include_mixed`` (the default) a fourth group runs the canned
+    heterogeneous fleet (:data:`~repro.experiments.configs.DEFAULT_CC_MIX`,
+    80 % DCQCN + 20 % HPCC with deterministic per-seed assignment) — the
+    orthogonality claim should survive a datacenter mid-CC-migration too.
+    """
     runner = runner or ExperimentRunner()
     result = FigureResult(
         figure="fig10",
         description="FCT slowdown under different RDMA congestion controls (8-DC, 30%)",
     )
-    for cc in ccs:
+    groups = [(cc, {"cc": cc}) for cc in ccs]
+    if include_mixed:
+        groups.append(("mixed", {"cc_mix": DEFAULT_CC_MIX}))
+    for label, cc_fields in groups:
         base = ExperimentSpec(
             name="fig10",
             topology="testbed8",
             workload="websearch",
             load=0.3,
-            cc=cc,
             num_flows=num_flows,
             pairs=TESTBED_ENDPOINT_PAIRS,
             seed=seed,
+            **cc_fields,
         )
         runs = _comparison_group(runner, base, routers=("lcmp", "ecmp", "ucmp"))
-        result.groups[cc] = {name: run.profile for name, run in runs.items()}
+        result.groups[label] = {name: run.profile for name, run in runs.items()}
         for baseline in ("ecmp", "ucmp"):
             vals = reduction(runs["lcmp"].profile, runs[baseline].profile)
-            result.metrics[f"{cc}_p50_reduction_vs_{baseline}"] = vals["p50"]
-            result.metrics[f"{cc}_p99_reduction_vs_{baseline}"] = vals["p99"]
+            result.metrics[f"{label}_p50_reduction_vs_{baseline}"] = vals["p50"]
+            result.metrics[f"{label}_p99_reduction_vs_{baseline}"] = vals["p99"]
     return result
 
 

@@ -44,7 +44,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.fct_analysis import SlowdownProfile
-from ..congestion_control import make_cc_factory
+from ..congestion_control import make_cc_factory, make_mixed_cc_factory
 from ..core import LCMPConfig, lcmp_router_factory
 from ..routing import make_router_factory
 from ..simulator import FluidSimulation, RuntimeNetwork, SimulationConfig, SimulationResult
@@ -140,6 +140,18 @@ class ExperimentRunner:
             vectorized=spec.vectorized,
         )
 
+    def cc_factory_for(self, spec: ExperimentSpec):
+        """Resolve the congestion control named by the spec.
+
+        A spec carrying :attr:`~ExperimentSpec.cc_mix` gets a per-flow
+        :class:`~repro.congestion_control.mix.MixedCCFactory` seeded from
+        the spec (deterministic heterogeneous fleets); otherwise the
+        uniform single-class factory of :attr:`~ExperimentSpec.cc`.
+        """
+        if spec.cc_mix is not None:
+            return make_mixed_cc_factory(spec.cc_mix, seed=spec.seed)
+        return make_cc_factory(spec.cc)
+
     def demands_for(self, spec: ExperimentSpec, topology: Topology, pathset: PathSet):
         """Generate the traffic matrix of a spec."""
         traffic = TrafficConfig(
@@ -166,7 +178,7 @@ class ExperimentRunner:
         simulation = FluidSimulation(
             network,
             demands,
-            make_cc_factory(spec.cc),
+            self.cc_factory_for(spec),
             config,
             trace_links=spec.trace_links,
             scenario=spec.resolve_scenario(),

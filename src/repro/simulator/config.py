@@ -67,6 +67,16 @@ class SimulationConfig:
             plane (it is the executable specification); results are
             bit-for-bit identical either way (see DESIGN.md, "Control
             plane (arrays)").
+        cc_blocks: with ``soa``, dispatch congestion control through each
+            class's in-place column-block kernels
+            (:meth:`~repro.congestion_control.base.CongestionControl
+            .advance_batch_slots` / ``feedback_batch_slots``, the default),
+            grouped per class so mixed-CC fleets stay on the fast path.
+            ``cc_blocks=False`` retains the object-gather dispatch (gather
+            the controller objects off the table and run the object-level
+            batch methods), kept as the baseline the uniform-fleet CC
+            benchmark measures against.  Results are bit-for-bit identical
+            either way (see DESIGN.md, "Congestion control (arrays)").
     """
 
     update_interval_s: float = 1e-3
@@ -83,6 +93,7 @@ class SimulationConfig:
     vectorized: bool = True
     soa: bool = True
     batched_control: bool = True
+    cc_blocks: bool = True
 
     def with_overrides(self, **kwargs) -> "SimulationConfig":
         """Return a copy with the given fields replaced."""

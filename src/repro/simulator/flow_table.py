@@ -15,10 +15,13 @@ of all mutable per-flow state while a vectorized run is in flight:
   bookkeeping, the congestion controller's sending rate);
 * **per-CC-class column blocks** hold algorithm state: a congestion-control
   class that declares :attr:`~repro.congestion_control.base.CongestionControl
-  .table_block_spec` gets its own block of columns (DCQCN keeps ``alpha``,
-  target rate, both timers, the increase stage and its static parameters
-  there), letting its batched feedback/advance run as in-place masked array
-  operations with no per-object gather/scatter;
+  .cc_columns` gets its own block of columns (state plus replicated static
+  parameters), letting its batched feedback/advance run as in-place masked
+  array operations with no per-object gather/scatter;
+* **per-class row registries** track which rows each congestion-control
+  class occupies (append on acquire, O(1) swap-remove on release) alongside
+  a per-row class-id column, so mixed-CC fleets dispatch grouped column
+  kernels with no per-step groupby or sort;
 * **epochs guard slot reuse** — the feedback delay line stores slot indices,
   so each acquire bumps the row's epoch and delivery drops lanes whose
   epoch no longer matches (a signal headed to a finished flow must never
@@ -111,9 +114,22 @@ class FlowTable:
         #: control plane writes routing decisions straight into this
         #: column at arrival / re-route time; -1 = unset)
         self.path_id = np.full(self._capacity, -1, dtype=np.int64)
+        #: id of the occupying flow's CC class (-1 = free); grouped CC
+        #: dispatch splits row batches by this column
+        self.cc_class_id = np.full(self._capacity, -1, dtype=np.int64)
 
         #: per-CC-class column blocks, keyed by the CC class
         self._blocks: Dict[Type, ColumnBlock] = {}
+
+        #: CC classes in first-acquire order; the index is the class id
+        self._classes: List[Type] = []
+        self._class_ids: Dict[Type, int] = {}
+        #: per-class live-row registries: a grown-by-doubling slot array
+        #: and its live prefix length, indexed by class id
+        self._class_rows: List[np.ndarray] = []
+        self._class_n: List[int] = []
+        #: position of each slot inside its class registry (-1 = none)
+        self._class_pos = np.full(self._capacity, -1, dtype=np.intp)
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -138,13 +154,43 @@ class FlowTable:
         """The column block of ``cc_cls``, created on first request.
 
         The block's columns come from the class's ``table_block_spec``
-        (mapping column name to numpy dtype string).
+        (mapping column name to numpy dtype string, derived from the
+        declarative ``cc_columns`` spec).
         """
         block = self._blocks.get(cc_cls)
         if block is None:
             block = ColumnBlock(cc_cls.table_block_spec, self._capacity)
             self._blocks[cc_cls] = block
         return block
+
+    # ------------------------------------------------------------------ #
+    # per-class row registries (grouped CC dispatch)
+    # ------------------------------------------------------------------ #
+    def cc_class_at(self, class_id: int) -> Type:
+        """The CC class registered under ``class_id``."""
+        return self._classes[class_id]
+
+    def class_rows(self, cc_cls: Type) -> np.ndarray:
+        """Live rows occupied by flows of ``cc_cls`` (registry order).
+
+        A view of the cached registry — maintained on acquire/release, so
+        reading it costs nothing per step.
+        """
+        cid = self._class_ids.get(cc_cls)
+        if cid is None:
+            return np.empty(0, dtype=np.intp)
+        return self._class_rows[cid][: self._class_n[cid]]
+
+    def rows_by_class(self):
+        """Yield ``(cc_cls, live rows)`` per class with occupants.
+
+        Classes come out in first-acquire order (the class-id order), which
+        is deterministic for a given demand sequence.
+        """
+        for cid, cc_cls in enumerate(self._classes):
+            n = self._class_n[cid]
+            if n:
+                yield cc_cls, self._class_rows[cid][:n]
 
     # ------------------------------------------------------------------ #
     # slot lifecycle
@@ -175,6 +221,7 @@ class FlowTable:
         self._flows[slot] = flow
         cc_cls = type(flow.cc)
         self.class_counts[cc_cls] = self.class_counts.get(cc_cls, 0) + 1
+        self._class_add(cc_cls, slot)
         self.epoch[slot] += 1
         self.feedback_live[slot] = True
         self.feedback_tick[slot] = -1
@@ -204,8 +251,43 @@ class FlowTable:
             self.class_counts[cc_cls] = count
         else:
             del self.class_counts[cc_cls]
+        self._class_remove(slot)
         self._free.append(slot)
         flow._slot = -1
+
+    # ------------------------------------------------------------------ #
+    def _class_add(self, cc_cls: Type, slot: int) -> None:
+        """Register ``slot`` in its class's row registry (O(1) append)."""
+        cid = self._class_ids.get(cc_cls)
+        if cid is None:
+            cid = len(self._classes)
+            self._class_ids[cc_cls] = cid
+            self._classes.append(cc_cls)
+            self._class_rows.append(np.empty(64, dtype=np.intp))
+            self._class_n.append(0)
+        rows = self._class_rows[cid]
+        n = self._class_n[cid]
+        if n == len(rows):
+            grown = np.empty(2 * len(rows), dtype=np.intp)
+            grown[:n] = rows
+            self._class_rows[cid] = rows = grown
+        rows[n] = slot
+        self._class_pos[slot] = n
+        self._class_n[cid] = n + 1
+        self.cc_class_id[slot] = cid
+
+    def _class_remove(self, slot: int) -> None:
+        """Drop ``slot`` from its class registry (O(1) swap-remove)."""
+        cid = int(self.cc_class_id[slot])
+        rows = self._class_rows[cid]
+        n = self._class_n[cid] - 1
+        pos = self._class_pos[slot]
+        last = rows[n]
+        rows[pos] = last
+        self._class_pos[last] = pos
+        self._class_n[cid] = n
+        self._class_pos[slot] = -1
+        self.cc_class_id[slot] = -1
 
     # ------------------------------------------------------------------ #
     def _grow(self) -> None:
@@ -221,13 +303,15 @@ class FlowTable:
             "feedback_count",
             "epoch",
             "path_id",
+            "cc_class_id",
+            "_class_pos",
         ):
             old = getattr(self, name)
             grown = np.zeros(new_capacity, dtype=old.dtype)
             grown[: self._capacity] = old
             if name == "disrupted_s":
                 grown[self._capacity:] = np.nan
-            elif name in ("feedback_tick", "path_id"):
+            elif name in ("feedback_tick", "path_id", "cc_class_id", "_class_pos"):
                 grown[self._capacity:] = -1
             setattr(self, name, grown)
         for block in self._blocks.values():

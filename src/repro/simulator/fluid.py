@@ -19,8 +19,11 @@ DCI switches hop by hop (see :class:`~repro.simulator.network.RuntimeNetwork`).
 Three implementations of the update step exist and are bit-for-bit
 equivalent: the structure-of-arrays core (default) that keeps per-flow and
 congestion-control state resident in a :class:`~repro.simulator.flow_table
-.FlowTable` and runs every per-step operation as numpy array math over a
-CSR-style flow×link incidence structure (:mod:`repro.simulator.incidence`);
+.FlowTable`, runs every per-step operation as numpy array math over a
+CSR-style flow×link incidence structure (:mod:`repro.simulator.incidence`),
+and advances/feeds congestion control through per-class in-place column
+kernels — grouped by CC class, so heterogeneous fleets (per-flow CC mixes)
+stay on the fast path;
 the object-resident vectorized core (``SimulationConfig(soa=False)``, the
 PR-2 layout with per-step ``np.fromiter`` gathers and ``.tolist()``
 writebacks, kept as the baseline the high-concurrency benchmark measures
@@ -290,6 +293,12 @@ class FluidSimulation:
         #: arrivals (vectorized cores only; the scalar reference path and
         #: the PR-3 baseline keep per-event arrivals and object sampling)
         self._batched = bool(self.config.vectorized and self.config.batched_control)
+        #: SoA core: dispatch congestion control through per-class in-place
+        #: column kernels, grouped by class for mixed fleets; False retains
+        #: the object-gather dispatch as the CC benchmark baseline
+        self._cc_blocks = bool(self._soa and self.config.cc_blocks)
+        #: the factory wants each demand's flow id (per-flow CC mixes)
+        self._cc_per_flow = bool(getattr(cc_factory, "per_flow", False))
 
         self.telemetry: Optional[TelemetryPlane] = None
         if self._batched:
@@ -502,6 +511,19 @@ class FluidSimulation:
         event = self.engine.schedule(demand.arrival_s, self._make_arrival(demand))
         self._arrival_events[demand.flow_id] = (event, demand)
 
+    def _make_cc(self, demand: FlowDemand, line_rate_bps: float, base_rtt_s: float):
+        """Build the demand's congestion controller.
+
+        Per-flow factories (``factory.per_flow``, e.g. a
+        :class:`~repro.congestion_control.mix.MixedCCFactory`) receive the
+        demand's flow id so mixed-CC assignment is deterministic across
+        cores and arrival batching; plain factories keep the two-argument
+        calling convention.
+        """
+        if self._cc_per_flow:
+            return self.cc_factory(line_rate_bps, base_rtt_s, flow_id=demand.flow_id)
+        return self.cc_factory(line_rate_bps, base_rtt_s)
+
     def _make_arrival(self, demand: FlowDemand) -> Callable[[], None]:
         def arrive() -> None:
             self._arrival_events.pop(demand.flow_id, None)
@@ -510,7 +532,7 @@ class FluidSimulation:
             path = self.network.resolve_path(demand, now)
             base_rtt = 2.0 * sum(link.delay_s for link in path)
             line_rate = path[0].cap_bps
-            cc = self.cc_factory(line_rate, base_rtt)
+            cc = self._make_cc(demand, line_rate, base_rtt)
             flow = Flow(demand, path, cc, base_rtt)
             flow.route_id = self.collector.route_index_for(demand.src_dc, flow.path)
             if self._table is not None:
@@ -592,7 +614,7 @@ class FluidSimulation:
         for demand, path in zip(batch, paths):
             self._pending_arrivals -= 1
             base_rtt = 2.0 * sum(link.delay_s for link in path)
-            cc = self.cc_factory(path[0].cap_bps, base_rtt)
+            cc = self._make_cc(demand, path[0].cap_bps, base_rtt)
             flow = Flow(demand, path, cc, base_rtt)
             flow.route_id = collector.route_index_for(demand.src_dc, flow.path)
             row = table.acquire(flow, bind=self._soa)
@@ -672,9 +694,11 @@ class FluidSimulation:
         handed to the congestion-control class's batched delivery.  The
         SoA core addresses lanes by FlowTable row: liveness, the slot-reuse
         epoch guard and the repeated-delivery tick check are all column
-        reductions, and a uniform fleet is delivered through the class's
-        in-place ``feedback_batch_slots``.  The legacy core walks lane
-        flows object by object (the PR-2 layout).  A flow normally
+        reductions, and every fleet — uniform or mixed — is delivered
+        through the classes' in-place ``feedback_batch_slots`` kernels,
+        grouped per class via the table's class-id column.  The legacy
+        core walks lane flows object by object (the PR-2 layout).  A flow
+        normally
         receives at most one signal per step — one is enqueued per step
         with a fixed RTT offset — and the rare exception (an
         RTT-shortening re-route makes several due at once) falls back to
@@ -737,6 +761,14 @@ class FluidSimulation:
             self._deliver_repeated(batches, now)
             return
         if soa:
+            if not self._cc_blocks:
+                # object-gather baseline (the CC benchmark's comparison
+                # point): gather the controllers off the table and run the
+                # object-level batch delivery
+                for gen, rows, lanes in batches:
+                    ccs = [table.flow_at(r).cc for r in rows.tolist()]
+                    self._deliver_object_batch(gen, ccs, lanes, now)
+                return
             counts = table.class_counts
             single_cls = next(iter(counts)) if len(counts) == 1 else None
             for gen, rows, lanes in batches:
@@ -751,9 +783,25 @@ class FluidSimulation:
                         gen.qd[lanes],
                         now,
                     )
-                else:
-                    ccs = [table.flow_at(r).cc for r in rows.tolist()]
-                    self._deliver_object_batch(gen, ccs, lanes, now)
+                    continue
+                # mixed fleet: split the batch per CC class (one boolean
+                # mask per class present — controllers are per-flow and
+                # independent, so grouped delivery matches the scalar
+                # per-flow order bit for bit) and stay on the in-place
+                # column kernels
+                cids = table.cc_class_id[rows]
+                for cid in np.unique(cids).tolist():
+                    sel = np.flatnonzero(cids == cid)
+                    table.cc_class_at(cid).feedback_batch_slots(
+                        table,
+                        rows[sel],
+                        gen.generated_s,
+                        gen.ecn[lanes[sel]],
+                        gen.util[lanes[sel]],
+                        gen.rtt[lanes[sel]],
+                        gen.qd[lanes[sel]],
+                        now,
+                    )
             return
         for gen, ccs, kept in batches:
             self._deliver_object_batch(gen, ccs, np.array(kept, dtype=np.intp), now)
@@ -813,6 +861,40 @@ class FluidSimulation:
             items.sort(key=lambda item: item[0])
             for _, flow, signal in items:
                 flow.cc.on_feedback(signal, now)
+
+    @staticmethod
+    def _accumulate_path_signals(inc, not_marked_links, delay_links):
+        """Per-flow path products/sums in exact scalar accumulation order.
+
+        Walks the paths position by position (one masked gather-and-apply
+        per hop; paths are a handful of links), so every flow's ECN
+        survival product and queueing-delay sum associate strictly left to
+        right — exactly like the scalar loop in :meth:`_feedback_for`.
+        ``np.multiply.reduceat`` / ``np.add.reduceat`` are *not* usable
+        here: their intra-segment association is unspecified (numpy may
+        block the reduction), which lands one ulp away from the scalar
+        result on some queue patterns and breaks the bit-identity contract.
+
+        Args:
+            inc: the flow×link incidence structure (CSR layout).
+            not_marked_links: per-link ECN survival probability (1 - mark).
+            delay_links: per-link queueing delay in seconds.
+
+        Returns:
+            ``(not_marked, queue_delay)`` per-flow arrays.
+        """
+        idx, starts, lengths = inc.idx, inc.starts, inc.lengths
+        num_flows = len(starts)
+        not_marked = np.ones(num_flows)
+        queue_delay = np.zeros(num_flows)
+        if not num_flows:
+            return not_marked, queue_delay
+        for k in range(int(lengths.max())):
+            sel = np.flatnonzero(lengths > k)
+            link = idx[starts[sel] + k]
+            not_marked[sel] *= not_marked_links[link]
+            queue_delay[sel] += delay_links[link]
+        return not_marked, queue_delay
 
     def _update_step_scalar(self) -> None:
         """The original pure-Python update step (the executable spec)."""
@@ -951,13 +1033,15 @@ class FluidSimulation:
             inc.ecn_pmax * (q - inc.ecn_kmin), span, out=mark, where=span > 0
         )
         mark = np.where(q <= inc.ecn_kmin, 0.0, np.where(q >= inc.ecn_kmax, 1.0, mark))
-        ecn_fraction = 1.0 - np.multiply.reduceat((1.0 - mark)[idx], starts)
 
         util = np.zeros(inc.num_links)
         np.divide(offered, cap, out=util, where=cap > 0)
         max_util = np.maximum.reduceat(util[idx], starts)
 
-        queue_delay = np.add.reduceat((q * 8.0 / cap)[idx], starts)
+        not_marked, queue_delay = self._accumulate_path_signals(
+            inc, 1.0 - mark, q * 8.0 / cap
+        )
+        ecn_fraction = 1.0 - not_marked
         base_rtt = table.base_rtt_s[rows]
         rtt = base_rtt + queue_delay
 
@@ -984,13 +1068,26 @@ class FluidSimulation:
         table.remaining_bytes[rows] = remaining
         self._deliver_feedback_line(now)
 
-        counts = table.class_counts
-        if len(counts) == 1:
-            (cc_cls,) = counts
-            cc_cls.advance_batch_slots(table, rows, dt, now)
+        if not self._cc_blocks:
+            # object-gather baseline (the CC benchmark's comparison point)
+            controllers = [table.flow_at(s).cc for s in rows.tolist()]
+            cc_cls = type(controllers[0])
+            if all(type(cc) is cc_cls for cc in controllers):
+                cc_cls.advance_batch(controllers, dt, now)
+            else:
+                for cc in controllers:
+                    cc.on_interval(dt, now)
         else:
-            for flow in active:
-                flow.cc.on_interval(dt, now)
+            counts = table.class_counts
+            if len(counts) == 1:
+                (cc_cls,) = counts
+                cc_cls.advance_batch_slots(table, rows, dt, now)
+            else:
+                # mixed fleet: each class advances its cached row registry
+                # in place — controllers are per-flow and independent, so
+                # grouped advancement matches the scalar per-flow order
+                for cc_cls, cls_rows in table.rows_by_class():
+                    cc_cls.advance_batch_slots(table, cls_rows, dt, now)
 
         # 6. completions (mark_finished touches no controller state, so
         # running it after the CC advance matches the scalar outcome)
@@ -1093,13 +1190,15 @@ class FluidSimulation:
             inc.ecn_pmax * (q - inc.ecn_kmin), span, out=mark, where=span > 0
         )
         mark = np.where(q <= inc.ecn_kmin, 0.0, np.where(q >= inc.ecn_kmax, 1.0, mark))
-        ecn_fraction = 1.0 - np.multiply.reduceat((1.0 - mark)[idx], starts)
 
         util = np.zeros(inc.num_links)
         np.divide(offered, cap, out=util, where=cap > 0)
         max_util = np.maximum.reduceat(util[idx], starts)
 
-        queue_delay = np.add.reduceat((q * 8.0 / cap)[idx], starts)
+        not_marked, queue_delay = self._accumulate_path_signals(
+            inc, 1.0 - mark, q * 8.0 / cap
+        )
+        ecn_fraction = 1.0 - not_marked
         base_rtt = np.fromiter(
             (flow.base_rtt_s for flow in active), dtype=np.float64, count=num_flows
         )

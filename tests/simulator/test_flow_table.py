@@ -188,6 +188,72 @@ class TestBoundViews:
         assert table.class_counts == {FixedRate: 1}
 
 
+class TestClassRowRegistries:
+    """Cached per-class row sets + the class-id column (grouped dispatch)."""
+
+    def test_rows_tracked_per_class(self):
+        table = FlowTable(capacity=4)
+        dcqcn_flows = [make_flow(i, cc=DCQCN(100e9, 0.05)) for i in range(2)]
+        fixed_flows = [make_flow(10 + i) for i in range(3)]
+        for f in dcqcn_flows + fixed_flows:
+            table.acquire(f)
+        assert sorted(table.class_rows(DCQCN).tolist()) == sorted(
+            f._slot for f in dcqcn_flows
+        )
+        assert sorted(table.class_rows(FixedRate).tolist()) == sorted(
+            f._slot for f in fixed_flows
+        )
+        for f in dcqcn_flows:
+            assert table.cc_class_at(int(table.cc_class_id[f._slot])) is DCQCN
+        by_class = dict(table.rows_by_class())
+        assert set(by_class) == {DCQCN, FixedRate}
+        assert len(by_class[FixedRate]) == 3
+
+    def test_swap_remove_keeps_registry_consistent(self):
+        table = FlowTable(capacity=4)
+        flows = [make_flow(i, cc=DCQCN(100e9, 0.05)) for i in range(4)]
+        for f in flows:
+            table.acquire(f)
+        # remove from the middle: the registry swap-removes and repositions
+        table.release(flows[1])
+        assert sorted(table.class_rows(DCQCN).tolist()) == sorted(
+            f._slot for f in (flows[0], flows[2], flows[3])
+        )
+        assert table.cc_class_id[1] == -1
+        # the freed slot goes to a different class; registries stay disjoint
+        newcomer = make_flow(99)
+        slot = table.acquire(newcomer)
+        assert slot == 1
+        assert table.class_rows(FixedRate).tolist() == [1]
+        assert 1 not in table.class_rows(DCQCN).tolist()
+
+    def test_registry_survives_growth_and_churn(self):
+        table = FlowTable(capacity=2)
+        rng = np.random.default_rng(3)
+        live = []
+        next_id = 0
+        for _ in range(400):
+            if live and rng.random() < 0.45:
+                victim = live.pop(int(rng.integers(len(live))))
+                table.release(victim)
+            else:
+                cc = DCQCN(100e9, 0.05) if next_id % 3 else FixedRate(1e9, 0.01)
+                flow = make_flow(next_id, cc=cc)
+                next_id += 1
+                table.acquire(flow)
+                live.append(flow)
+            # invariant: registries partition the live set exactly
+            union = []
+            for cc_cls, rows in table.rows_by_class():
+                rows = rows.tolist()
+                assert len(set(rows)) == len(rows)
+                for slot in rows:
+                    assert type(table.flow_at(slot).cc) is cc_cls
+                    assert table.cc_class_at(int(table.cc_class_id[slot])) is cc_cls
+                union.extend(rows)
+            assert sorted(union) == sorted(f._slot for f in live)
+
+
 class TestSimulationChurn:
     def test_slot_reuse_under_simulated_churn(self, tiny_topology, tiny_pathset, quick_sim_config):
         """Staggered arrivals/completions force slot reuse mid-run and the

@@ -18,7 +18,7 @@ import dataclasses
 
 import pytest
 
-from repro.congestion_control import make_cc_factory
+from repro.congestion_control import make_cc_factory, make_mixed_cc_factory
 from repro.routing import make_router_factory
 from repro.scenarios import get_scenario
 from repro.scenarios.events import CapacityChange, LinkDown, LinkUp, Scenario, TrafficSurge
@@ -37,11 +37,13 @@ def run_sim(
     trace_links=False,
     soa=True,
     batched=True,
+    cc_blocks=True,
 ):
     topology = build_testbed8(capacity_scale=0.1)
     paths = _testbed8_pathset(topology)
     config = SimulationConfig(
-        seed=7, vectorized=vectorized, soa=soa, batched_control=batched
+        seed=7, vectorized=vectorized, soa=soa, batched_control=batched,
+        cc_blocks=cc_blocks,
     )
     traffic = TrafficConfig(
         workload="websearch",
@@ -52,15 +54,22 @@ def run_sim(
     )
     demands = TrafficGenerator(topology, paths, traffic).generate()
     network = RuntimeNetwork(topology, paths, make_router_factory("ecmp"), config)
+    factory = (
+        make_mixed_cc_factory(cc, seed=7) if isinstance(cc, tuple) else make_cc_factory(cc)
+    )
     sim = FluidSimulation(
         network,
         demands,
-        make_cc_factory(cc),
+        factory,
         config,
         trace_links=trace_links,
         scenario=scenario,
     )
     return sim.run()
+
+
+#: heterogeneous fleet used by the mixed-CC equivalence cases
+MIX = (("dcqcn", 0.6), ("hpcc", 0.2), ("timely", 0.2))
 
 
 def assert_records_identical(scalar, vectorized):
@@ -109,11 +118,32 @@ class TestStaticEquivalence:
         assert_results_identical(scalar, legacy)
         assert_results_identical(legacy, soa)
 
-    @pytest.mark.parametrize("cc", ["dcqcn", "hpcc", "timely", "dctcp"])
+    @pytest.mark.parametrize("cc", ["dcqcn", "hpcc", "timely", "dctcp", "ideal"])
     def test_every_congestion_control(self, cc):
         scalar = run_sim(vectorized=False, cc=cc, num_flows=80)
         vector = run_sim(vectorized=True, cc=cc, num_flows=80)
         assert_results_identical(scalar, vector)
+
+    def test_mixed_fleet_all_cores(self):
+        """A heterogeneous fleet (grouped in-place kernels on the SoA
+        core) matches the scalar spec and the legacy core bit for bit."""
+        factory = make_mixed_cc_factory(MIX, seed=7)
+        assigned = {factory.labels[factory.assign(i)] for i in range(160)}
+        assert len(assigned) > 1  # the run genuinely mixes classes
+        scalar = run_sim(vectorized=False, cc=MIX)
+        soa = run_sim(vectorized=True, cc=MIX)
+        legacy = run_sim(vectorized=True, soa=False, cc=MIX)
+        assert_results_identical(scalar, soa)
+        assert_results_identical(scalar, legacy)
+
+    def test_object_gather_dispatch_bitwise_identical(self):
+        """The retained object-gather CC dispatch (``cc_blocks=False``,
+        the CC benchmark baseline) matches the block kernels, on a
+        uniform non-DCQCN fleet and on a mixed fleet."""
+        for cc in ("hpcc", MIX):
+            blocks = run_sim(vectorized=True, cc=cc, num_flows=80)
+            gathered = run_sim(vectorized=True, cc=cc, num_flows=80, cc_blocks=False)
+            assert_results_identical(blocks, gathered)
 
     def test_link_trace_identical(self):
         scalar = run_sim(vectorized=False, num_flows=60, trace_links=True)
@@ -165,6 +195,34 @@ class TestScenarioEquivalence:
         assert_results_identical(batched, legacy_cp)
         assert_scenario_metrics_identical(batched, legacy_cp)
 
+    @pytest.mark.parametrize("cc", ["hpcc", "timely", "dctcp", "ideal"])
+    def test_single_link_cut_per_cc(self, cc):
+        """Scenario disruption under every migrated CC class: the in-place
+        kernels stay bit-identical through mid-run reroutes."""
+        scalar = run_sim(
+            vectorized=False, cc=cc, num_flows=100,
+            scenario=get_scenario("single-link-cut"),
+        )
+        soa = run_sim(
+            vectorized=True, cc=cc, num_flows=100,
+            scenario=get_scenario("single-link-cut"),
+        )
+        assert_results_identical(scalar, soa)
+        assert_scenario_metrics_identical(scalar, soa)
+
+    def test_single_link_cut_mixed_fleet(self):
+        """Scenario disruption on a heterogeneous fleet (grouped kernels)."""
+        scalar = run_sim(
+            vectorized=False, cc=MIX, num_flows=100,
+            scenario=get_scenario("single-link-cut"),
+        )
+        soa = run_sim(
+            vectorized=True, cc=MIX, num_flows=100,
+            scenario=get_scenario("single-link-cut"),
+        )
+        assert_results_identical(scalar, soa)
+        assert_scenario_metrics_identical(scalar, soa)
+
     def test_overlapping_faults_and_capacity_events(self):
         # an explicit cut overlapping a brownout plus a surge: exercises
         # refcounted down-causes, capacity_factor changes and injected
@@ -191,6 +249,80 @@ class TestScenarioEquivalence:
         vector = run_sim(vectorized=True, scenario=scenario)
         assert_results_identical(scalar, vector)
         assert_scenario_metrics_identical(scalar, vector)
+
+
+class TestRttShorteningRerouteEquivalence:
+    """Several feedback lanes coming due in one step — the repeated-delivery
+    slow path (``fluid._deliver_repeated``).
+
+    Flows hashed onto the 500 ms DC1–DC2 route lose it mid-run and re-route
+    onto paths with RTTs shorter by far more than an update step, so the
+    signals already in flight (stamped with the old RTT) land in the same
+    ticks as freshly enqueued ones.  Delivery order must match the scalar
+    core's per-flow deliver-time order exactly, for every CC class and for
+    a mixed fleet; the test also asserts the slow path actually ran."""
+
+    NUM_FLOWS = 80
+    WINDOW_S = 1.3
+
+    def run_reroute(self, vectorized, cc):
+        topology = build_testbed8(capacity_scale=0.1)
+        paths = _testbed8_pathset(topology)
+        hosts = topology.host_groups["DC1"].count
+        demands = [
+            FlowDemand(
+                flow_id=i,
+                src_dc="DC1" if i % 2 == 0 else "DC8",
+                dst_dc="DC8" if i % 2 == 0 else "DC1",
+                src_host=i % hosts,
+                dst_host=(i * 7 + 1) % hosts,
+                # huge flows outlive the old-RTT feedback horizon under
+                # every CC (the collision needs the rerouted flows alive
+                # when their stale signals land); small ones yield records
+                size_bytes=120_000 if i % 5 == 0 else 2_000_000_000,
+                arrival_s=0.001 * (i % 10) + 1e-4,
+            )
+            for i in range(self.NUM_FLOWS)
+        ]
+        scenario = Scenario(
+            name="rtt-shortening",
+            events=(LinkDown(0.05, "DC1", "DC2"), LinkUp(1.2, "DC1", "DC2")),
+        )
+        config = SimulationConfig(
+            seed=11,
+            vectorized=vectorized,
+            max_sim_time_s=self.WINDOW_S,
+            drain_timeout_s=self.WINDOW_S,
+        )
+        network = RuntimeNetwork(topology, paths, make_router_factory("ecmp"), config)
+        factory = (
+            make_mixed_cc_factory(cc, seed=11)
+            if isinstance(cc, tuple)
+            else make_cc_factory(cc)
+        )
+        sim = FluidSimulation(network, demands, factory, config, scenario=scenario)
+        return sim.run()
+
+    @pytest.mark.parametrize(
+        "cc", ["dcqcn", "hpcc", "timely", "dctcp", "ideal", MIX],
+        ids=["dcqcn", "hpcc", "timely", "dctcp", "ideal", "mixed"],
+    )
+    def test_repeated_delivery_matches_scalar(self, cc, monkeypatch):
+        calls = {"n": 0}
+        orig = FluidSimulation._deliver_repeated
+
+        def counting(self, batches, now):
+            calls["n"] += 1
+            return orig(self, batches, now)
+
+        monkeypatch.setattr(FluidSimulation, "_deliver_repeated", counting)
+        soa = self.run_reroute(vectorized=True, cc=cc)
+        assert calls["n"] > 0, "the repeated-delivery path never ran"
+        assert soa.scenario_metrics.total_rerouted > 0
+        assert len(soa.records) > 0
+        scalar = self.run_reroute(vectorized=False, cc=cc)
+        assert_results_identical(scalar, soa)
+        assert_scenario_metrics_identical(scalar, soa)
 
 
 class TestHighConcurrencyEquivalence:
