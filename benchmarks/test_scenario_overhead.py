@@ -43,19 +43,31 @@ chain per flow, per-port sample objects every tick).  Gate: **at least
 1.5x** end-to-end at >= 2000 flows, with FCTs asserted bit-identical
 between the two paths.
 
+The fifth part gates the **observability plane** (see DESIGN.md,
+"Observability plane"): running the 2000-flow HPCC lane with
+``SimulationConfig(instrumentation=True)`` — phase timers around every step
+sub-phase plus the slow-path counters — must cost **at most 3 %** wall
+clock against the uninstrumented run, with bit-identical FCTs.  The
+recorded ``test_bench_phase_profile`` lane additionally writes the per-phase
+breakdown (``BENCH_phase_breakdown.json``) and a perfetto-loadable Chrome
+trace (``BENCH_step_trace.trace.json``) next to the wall-clock trajectory.
+
 Absolute numbers land in ``benchmarks/results/*.txt`` (see
 benchmarks/README.md); the ``@pytest.mark.benchmark`` lanes feed
 ``--benchmark-json`` so the CI benchmark jobs can record the perf
 trajectory (``BENCH_step_throughput.json``).
 """
 
+import json
 import os
 import pathlib
 import time
 
 import pytest
 
+from repro.analysis import perf_report, phase_breakdown_json
 from repro.congestion_control import make_cc_factory
+from repro.obs import write_chrome_trace
 from repro.core import lcmp_router_factory
 from repro.routing import make_router_factory
 from repro.scenarios import Scenario
@@ -328,7 +340,12 @@ def build_cc_fleet_demands(num_flows: int = CC_FLEET_FLOWS):
     return topology, demands
 
 
-def run_cc_fleet(cc_blocks: bool, cc: str = "hpcc", num_flows: int = CC_FLEET_FLOWS):
+def run_cc_fleet(
+    cc_blocks: bool,
+    cc: str = "hpcc",
+    num_flows: int = CC_FLEET_FLOWS,
+    instrumentation: bool = False,
+):
     """One uniform-CC SoA run; returns (wall seconds, result)."""
     topology, demands = build_cc_fleet_demands(num_flows)
     paths = _testbed8_pathset(topology)
@@ -337,6 +354,7 @@ def run_cc_fleet(cc_blocks: bool, cc: str = "hpcc", num_flows: int = CC_FLEET_FL
         cc_blocks=cc_blocks,
         max_sim_time_s=CC_FLEET_WINDOW_S,
         drain_timeout_s=CC_FLEET_WINDOW_S,
+        instrumentation=instrumentation,
     )
     network = RuntimeNetwork(topology, paths, make_router_factory("ecmp"), config)
     sim = FluidSimulation(network, demands, make_cc_factory(cc), config)
@@ -488,3 +506,106 @@ def test_bench_control_plane(benchmark, mode):
         rounds=2,
         iterations=1,
     )
+
+
+# --------------------------------------------------------------------- #
+# observability plane (phase timers + counters)
+# --------------------------------------------------------------------- #
+#: maximum tolerated instrumentation wall-clock ratio on the 2000-flow
+#: HPCC lane (instrumented / uninstrumented)
+MAX_INSTRUMENTATION_OVERHEAD = 1.03
+
+
+def _min_fleet_times(rounds: int = 3):
+    """Best-of-``rounds`` wall time of the HPCC lane, off and on.
+
+    Interleaved (off, on, off, on, ...) so a drifting machine load hits
+    both configurations equally, and min-reduced so one unlucky scheduling
+    window cannot dominate either side.
+    """
+    base = []
+    instrumented = []
+    for _ in range(rounds):
+        base.append(run_cc_fleet(cc_blocks=True)[0])
+        instrumented.append(run_cc_fleet(cc_blocks=True, instrumentation=True)[0])
+    return min(base), min(instrumented)
+
+
+def test_instrumentation_overhead():
+    """Acceptance (this PR): instrumentation costs <= 3 % on the 2000-flow
+    HPCC lane, with bit-identical FCTs and a populated stats snapshot.
+
+    Same re-measurement policy as the other gates (one retry covers
+    unlucky scheduling windows on shared CI runners) — with the tighter
+    3 % bound the timing rounds are additionally interleaved and
+    min-reduced.
+    """
+    _, base_result = run_cc_fleet(cc_blocks=True)
+    _, inst_result = run_cc_fleet(cc_blocks=True, instrumentation=True)
+    # instrumentation must not change the answer, only describe the run
+    assert inst_result.slowdowns() == base_result.slowdowns()
+    assert base_result.stats is None
+    assert inst_result.stats is not None
+    assert inst_result.stats["phases"]["step.update"]["count"] > 0
+
+    base_s, inst_s = _min_fleet_times()
+    if inst_s / base_s > MAX_INSTRUMENTATION_OVERHEAD:
+        base_s, inst_s = _min_fleet_times()
+    ratio = inst_s / base_s
+    _write_results(
+        "instrumentation_overhead.txt",
+        "observability-plane overhead "
+        f"({CC_FLEET_FLOWS} concurrent flows, uniform HPCC, testbed8)\n"
+        f"uninstrumented : {base_s:8.3f} s\n"
+        f"instrumented   : {inst_s:8.3f} s\n"
+        f"overhead       : {(ratio - 1.0):8.2%} (allowed <= "
+        f"{MAX_INSTRUMENTATION_OVERHEAD - 1.0:.0%})\n",
+    )
+    assert ratio <= MAX_INSTRUMENTATION_OVERHEAD, (
+        f"instrumentation costs {(ratio - 1.0):.2%} wall clock "
+        f"({inst_s:.3f}s vs {base_s:.3f}s)"
+    )
+
+
+@pytest.mark.benchmark(group="phase-profile")
+def test_bench_phase_profile(benchmark):
+    """Recorded per-phase profile lane.
+
+    Runs the HPCC lane instrumented and writes, next to the wall-clock
+    trajectory at the repo root:
+
+    * ``BENCH_phase_breakdown.json`` — the structured per-phase/counter
+      breakdown (:func:`repro.analysis.phase_breakdown_json`, schema in
+      benchmarks/README.md);
+    * ``BENCH_step_trace.trace.json`` — a perfetto-loadable Chrome trace
+      of the run's spans;
+    * ``results/phase_profile.txt`` — the human-readable top-N report.
+    """
+    holder = {}
+
+    def go():
+        topology, demands = build_cc_fleet_demands(_scaled(CC_FLEET_FLOWS))
+        paths = _testbed8_pathset(topology)
+        config = SimulationConfig(
+            seed=5,
+            instrumentation=True,
+            max_sim_time_s=CC_FLEET_WINDOW_S,
+            drain_timeout_s=CC_FLEET_WINDOW_S,
+        )
+        network = RuntimeNetwork(
+            topology, paths, make_router_factory("ecmp"), config
+        )
+        sim = FluidSimulation(network, demands, make_cc_factory("hpcc"), config)
+        holder["sim"] = sim
+        holder["result"] = sim.run()
+
+    benchmark.pedantic(go, rounds=1, iterations=1)
+    sim, result = holder["sim"], holder["result"]
+    root = pathlib.Path(__file__).resolve().parent.parent
+    breakdown = phase_breakdown_json(result.stats)
+    assert breakdown["phases"], "instrumented run recorded no phases"
+    (root / "BENCH_phase_breakdown.json").write_text(
+        json.dumps(breakdown, indent=2)
+    )
+    write_chrome_trace(sim.obs, root / "BENCH_step_trace.trace.json")
+    _write_results("phase_profile.txt", perf_report(result.stats))

@@ -8,6 +8,12 @@ from .fct_analysis import (
     reduction,
 )
 from .fidelity import FidelityResult, fidelity_study, pearson
+from .perf_report import (
+    perf_report,
+    phase_breakdown,
+    phase_breakdown_json,
+    top_counters,
+)
 from .report import format_table, reduction_report, slowdown_table, utilization_report
 from .scenario_analysis import (
     EventImpact,
@@ -26,6 +32,10 @@ __all__ = [
     "FidelityResult",
     "fidelity_study",
     "pearson",
+    "perf_report",
+    "phase_breakdown",
+    "phase_breakdown_json",
+    "top_counters",
     "EventImpact",
     "event_impacts",
     "recovery_report",

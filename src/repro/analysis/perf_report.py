@@ -1,0 +1,112 @@
+"""Per-phase performance reports over observability snapshots.
+
+Turns the snapshot dict a run attaches to ``SimulationResult.stats`` (or a
+sweep-merged snapshot from
+:meth:`~repro.experiments.runner.ExperimentRunner.aggregate_stats`) into:
+
+* :func:`phase_breakdown` — per-phase rows (count, total/mean/max duration,
+  share of the accounted time), sorted by total time;
+* :func:`top_counters` — the top-N counters by value;
+* :func:`perf_report` — a human-readable text report of both;
+* :func:`phase_breakdown_json` — the structured per-phase payload the bench
+  lanes embed next to their wall-clock numbers, so ``BENCH_*.json``
+  artifacts carry a breakdown instead of a single number (schema in
+  ``benchmarks/README.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = [
+    "phase_breakdown",
+    "top_counters",
+    "perf_report",
+    "phase_breakdown_json",
+]
+
+
+def phase_breakdown(snapshot: dict, top: Optional[int] = None) -> List[dict]:
+    """Per-phase timing rows, sorted by total time (descending).
+
+    Each row carries ``name``, ``count``, ``total_ms``, ``mean_us``,
+    ``max_us`` and ``share`` — the phase's fraction of the sum of all
+    phase totals.  Nested phases (``update.*`` inside ``step.update``)
+    are reported as-is, so shares can sum past 1.0 across nesting levels;
+    compare within one level.
+    """
+    phases = snapshot.get("phases", {})
+    grand_total = sum(p["total_ns"] for p in phases.values()) or 1
+    rows = [
+        {
+            "name": name,
+            "count": p["count"],
+            "total_ms": p["total_ns"] / 1e6,
+            "mean_us": (p["total_ns"] / p["count"] / 1e3) if p["count"] else 0.0,
+            "max_us": p["max_ns"] / 1e3,
+            "share": p["total_ns"] / grand_total,
+        }
+        for name, p in phases.items()
+    ]
+    rows.sort(key=lambda r: (-r["total_ms"], r["name"]))
+    return rows[:top] if top is not None else rows
+
+
+def top_counters(snapshot: dict, top: int = 10) -> List[dict]:
+    """The ``top`` counters by value, as ``{"name", "value"}`` rows."""
+    counters = snapshot.get("counters", {})
+    rows = [{"name": name, "value": value} for name, value in counters.items()]
+    rows.sort(key=lambda r: (-r["value"], r["name"]))
+    return rows[:top]
+
+
+def perf_report(snapshot: Optional[dict], top: int = 10) -> str:
+    """Human-readable top-N phase / counter report.
+
+    Accepts ``None`` (an uninstrumented run) and says so, so callers can
+    pipe ``result.stats`` straight in.
+    """
+    if snapshot is None:
+        return "no observability data (run with instrumentation=True)\n"
+    lines = ["phase breakdown (top %d by total time)" % top]
+    lines.append(
+        f"{'phase':<28} {'count':>8} {'total ms':>10} {'mean µs':>10} "
+        f"{'max µs':>10} {'share':>7}"
+    )
+    for row in phase_breakdown(snapshot, top=top):
+        lines.append(
+            f"{row['name']:<28} {row['count']:>8} {row['total_ms']:>10.3f} "
+            f"{row['mean_us']:>10.2f} {row['max_us']:>10.2f} {row['share']:>6.1%}"
+        )
+    lines.append("")
+    lines.append("counters (top %d)" % top)
+    lines.append(f"{'counter':<40} {'value':>12}")
+    for row in top_counters(snapshot, top=top):
+        lines.append(f"{row['name']:<40} {row['value']:>12}")
+    return "\n".join(lines) + "\n"
+
+
+def phase_breakdown_json(snapshot: Optional[dict], top_n_counters: int = 20) -> Dict:
+    """The structured per-phase payload the bench lanes write to disk.
+
+    Schema (documented in ``benchmarks/README.md``)::
+
+        {
+          "phases":   [{"name", "count", "total_ms", "mean_us",
+                        "max_us", "share"}, ...],   # sorted by total_ms
+          "counters": {name: int},                  # top-N by value
+          "gauges":   {name: {"last", "max"}},
+        }
+
+    ``None`` in, ``{}`` out, so callers can write it unconditionally.
+    """
+    if snapshot is None:
+        return {}
+    return {
+        "phases": phase_breakdown(snapshot),
+        "counters": {
+            row["name"]: row["value"]
+            for row in top_counters(snapshot, top=top_n_counters)
+        },
+        "gauges": snapshot.get("gauges", {}),
+    }

@@ -82,6 +82,11 @@ class ExperimentSpec:
         vectorized: run the simulator's numpy update core (default) or the
             pure-Python scalar reference path — both produce bit-identical
             results (see DESIGN.md, "Vectorized core").
+        instrumentation: enable the simulator's observability plane for
+            this run; the run's ``result.stats`` then carries the phase
+            timer / counter snapshot, and sweeps aggregate the per-run
+            snapshots (see DESIGN.md, "Observability plane").  Numerics are
+            unaffected either way.
     """
 
     name: str
@@ -102,6 +107,7 @@ class ExperimentSpec:
     fidelity_noise: float = 0.0
     trace_links: bool = False
     vectorized: bool = True
+    instrumentation: bool = False
 
     def with_overrides(self, **kwargs) -> "ExperimentSpec":
         """Return a copy with the given fields replaced."""

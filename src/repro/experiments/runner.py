@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..analysis.fct_analysis import SlowdownProfile
 from ..congestion_control import make_cc_factory, make_mixed_cc_factory
 from ..core import LCMPConfig, lcmp_router_factory
+from ..obs import merge_snapshots
 from ..routing import make_router_factory
 from ..simulator import FluidSimulation, RuntimeNetwork, SimulationConfig, SimulationResult
 from ..simulator.fct import FlowRecord
@@ -100,6 +101,23 @@ class ExperimentRunner:
 
     def __init__(self) -> None:
         self._topology_cache: Dict[Tuple[str, float], Tuple[Topology, PathSet]] = {}
+        #: merged observability snapshot of the most recent :meth:`run_many`
+        #: sweep (``None`` when no run in the sweep was instrumented)
+        self.last_sweep_stats: Optional[dict] = None
+
+    @staticmethod
+    def aggregate_stats(runs: Sequence[ExperimentRun]) -> Optional[dict]:
+        """Merge the runs' observability snapshots into one profile.
+
+        Counters and phase aggregates sum across runs, histogram samples
+        concatenate, gauges keep their maxima
+        (:func:`repro.obs.merge_snapshots`); uninstrumented runs are
+        skipped, and the merge is ``None`` when no run carried stats.  The
+        merged snapshot is deterministic in everything except wall-clock
+        phase timings, so a parallel sweep aggregates to the same counters
+        as a serial one.
+        """
+        return merge_snapshots([run.result.stats for run in runs])
 
     # ------------------------------------------------------------------ #
     # building blocks
@@ -138,6 +156,7 @@ class ExperimentRunner:
             fidelity_noise=spec.fidelity_noise,
             seed=spec.seed,
             vectorized=spec.vectorized,
+            instrumentation=spec.instrumentation,
         )
 
     def cc_factory_for(self, spec: ExperimentSpec):
@@ -212,7 +231,9 @@ class ExperimentRunner:
                 ``min(len(specs), cpu_count)``.
 
         Returns:
-            One :class:`ExperimentRun` per spec, in order.
+            One :class:`ExperimentRun` per spec, in order.  When any spec
+            ran instrumented, the sweep's merged observability snapshot is
+            left in :attr:`last_sweep_stats` (see :meth:`aggregate_stats`).
         """
         specs = list(specs)
         workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
@@ -225,15 +246,19 @@ class ExperimentRunner:
             except Exception:
                 parallel = False
         if not parallel or workers <= 1:
-            return [self.run(spec) for spec in specs]
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(_run_spec_in_worker, specs))
-        except (OSError, BrokenProcessPool):
-            # no usable process pool in this environment (restricted
-            # sandbox, missing semaphores, killed workers): degrade to the
-            # serial sweep; errors raised *by a spec* propagate unchanged
-            return [self.run(spec) for spec in specs]
+            runs = [self.run(spec) for spec in specs]
+        else:
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    runs = list(pool.map(_run_spec_in_worker, specs))
+            except (OSError, BrokenProcessPool):
+                # no usable process pool in this environment (restricted
+                # sandbox, missing semaphores, killed workers): degrade to
+                # the serial sweep; errors raised *by a spec* propagate
+                # unchanged
+                runs = [self.run(spec) for spec in specs]
+        self.last_sweep_stats = self.aggregate_stats(runs)
+        return runs
 
     def run_router_comparison(
         self,

@@ -1,0 +1,31 @@
+"""Low-overhead observability plane for the simulator runtime.
+
+See DESIGN.md, "Observability plane".  The package splits into:
+
+* :mod:`repro.obs.metrics` — ``Counter``/``Gauge``/``Histogram`` and the
+  :class:`MetricsRegistry` namespace.
+* :mod:`repro.obs.spans` — ``perf_counter_ns`` phase timers behind the
+  :class:`Instrumentation` facade, and the :data:`NOOP` null object that
+  makes every site a no-op when ``SimulationConfig.instrumentation`` is
+  off.
+* :mod:`repro.obs.export` — Chrome trace-event JSON, Prometheus text, and
+  cross-worker snapshot merging.
+"""
+
+from .export import chrome_trace, merge_snapshots, prometheus_text, write_chrome_trace
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import NOOP, Instrumentation, NullInstrumentation
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Instrumentation",
+    "NullInstrumentation",
+    "NOOP",
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "merge_snapshots",
+]

@@ -1,0 +1,209 @@
+"""Runtime metrics primitives: counters, gauges, histograms, registry.
+
+The simulator's observability plane (see DESIGN.md, "Observability plane")
+records *what the simulator itself is doing* — how often slow-path
+fallbacks fire, how deep the event heap gets, how large arrival batches
+are — separately from the *simulated* metrics (FCTs, link stats) that live
+in :class:`~repro.simulator.fct.MetricsStore`.
+
+Three metric kinds cover every instrumentation site:
+
+* :class:`Counter` — a monotonically increasing count (events fired,
+  slow-path invocations).  ``inc()`` is one Python integer add, cheap
+  enough for any per-step site.
+* :class:`Gauge` — a last-value-plus-high-watermark pair (heap depth,
+  active-flow count).
+* :class:`Histogram` — a running ``count/sum/max`` plus a bounded numpy
+  ring buffer of recent observations, from which percentiles are computed
+  on demand (arrival batch sizes, span durations).  The ring keeps memory
+  bounded on million-step runs while the snapshot stays mergeable: the
+  retained samples travel with it, so cross-worker aggregation
+  (:func:`repro.obs.export.merge_snapshots`) concatenates rings and
+  recomputes percentiles instead of averaging averages.
+
+A :class:`MetricsRegistry` owns one namespace of metrics; names follow a
+dotted ``layer.event`` taxonomy (``engine.events_fired``,
+``slow_path.deliver_repeated``).  ``snapshot()`` renders everything into a
+plain JSON-serialisable dict — the object attached to
+:attr:`~repro.simulator.fluid.SimulationResult.stats`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1) to the counter."""
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A last-value gauge that also tracks its high watermark."""
+
+    __slots__ = ("name", "value", "high")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.high = 0.0
+
+    def set(self, v: float) -> None:
+        """Record the current value (updates the high watermark)."""
+        self.value = v
+        if v > self.high:
+            self.high = v
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, {self.value}, high={self.high})"
+
+
+class Histogram:
+    """Running stats plus a bounded ring of recent observations.
+
+    The ring holds the most recent ``capacity`` observations in a
+    preallocated numpy array; ``count``/``total``/``max`` cover the full
+    lifetime, so long runs lose percentile resolution on ancient samples
+    but never lose the aggregate picture.
+    """
+
+    __slots__ = ("name", "count", "total", "max", "_ring", "_pos", "capacity")
+
+    def __init__(self, name: str, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self._ring = np.empty(capacity)
+        self._pos = 0
+
+    def observe(self, v: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += v
+        if v > self.max:
+            self.max = v
+        self._ring[self._pos] = v
+        self._pos += 1
+        if self._pos == self.capacity:
+            self._pos = 0
+
+    def samples(self) -> np.ndarray:
+        """The retained observations (a copy, unordered)."""
+        if self.count >= self.capacity:
+            return self._ring.copy()
+        return self._ring[: self._pos].copy()
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0–100) over the retained samples."""
+        retained = self.samples()
+        if not len(retained):
+            return 0.0
+        return float(np.percentile(retained, q))
+
+    @property
+    def mean(self) -> float:
+        """Lifetime mean observation."""
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:g})"
+
+
+class MetricsRegistry:
+    """One namespace of named metrics.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first call
+    for a name creates the metric, later calls return the same object, so
+    instrumentation sites can bind their metric once at setup time and pay
+    only the update cost afterwards.  A name is pinned to the kind that
+    created it; asking for the same name as a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, capacity: int = 4096) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._get_or_create(name, Histogram, capacity)
+
+    def get(self, name: str) -> Optional[object]:
+        """The metric registered under ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """Render every metric into a plain JSON-serialisable dict.
+
+        Layout (the ``counters``/``gauges``/``histograms`` sections of the
+        :meth:`~repro.obs.spans.Instrumentation.snapshot` schema)::
+
+            {
+              "counters":   {name: int},
+              "gauges":     {name: {"last": float, "max": float}},
+              "histograms": {name: {"count": int, "sum": float,
+                                    "max": float, "samples": [float, ...]}},
+            }
+        """
+        counters: Dict[str, int] = {}
+        gauges: Dict[str, dict] = {}
+        histograms: Dict[str, dict] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = {"last": metric.value, "max": metric.high}
+            elif isinstance(metric, Histogram):
+                histograms[name] = {
+                    "count": metric.count,
+                    "sum": metric.total,
+                    "max": metric.max,
+                    "samples": metric.samples().tolist(),
+                }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}

@@ -77,6 +77,14 @@ class SimulationConfig:
             batch methods), kept as the baseline the uniform-fleet CC
             benchmark measures against.  Results are bit-for-bit identical
             either way (see DESIGN.md, "Congestion control (arrays)").
+        instrumentation: enable the runtime observability plane
+            (:mod:`repro.obs`): phase timers around every step sub-phase,
+            slow-path counters, and an engine/routing/cache metrics harvest
+            attached to ``SimulationResult.stats`` (see DESIGN.md,
+            "Observability plane").  Off by default; when off, every
+            instrumentation site is a shared no-op object and ``stats`` is
+            ``None``.  Instrumentation never touches simulation numerics or
+            RNG streams, so results are bit-for-bit identical either way.
     """
 
     update_interval_s: float = 1e-3
@@ -94,6 +102,7 @@ class SimulationConfig:
     soa: bool = True
     batched_control: bool = True
     cc_blocks: bool = True
+    instrumentation: bool = False
 
     def with_overrides(self, **kwargs) -> "SimulationConfig":
         """Return a copy with the given fields replaced."""

@@ -47,6 +47,7 @@ class Event:
         self.cancelled = True
         if self.queue is not None:
             self.queue._live -= 1
+            self.queue.cancelled += 1
             self.queue = None
 
 
@@ -56,18 +57,34 @@ class EventQueue:
     ``len()`` / truthiness report the number of *live* (non-cancelled)
     events from a counter maintained on push/pop/cancel, so they are O(1)
     instead of an O(heap) sweep per call.
+
+    Lifetime traffic counters (monotonic, never reset):
+
+    * ``pushed`` — events ever scheduled;
+    * ``popped`` — live events ever handed to the caller (skipped
+      cancelled entries do not count);
+    * ``cancelled`` — events cancelled while still pending (cancelling an
+      already-popped or already-cancelled event does not count);
+    * ``peak_live`` — high watermark of the live-event count (heap depth).
     """
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._counter = itertools.count()
         self._live = 0
+        self.pushed = 0
+        self.popped = 0
+        self.cancelled = 0
+        self.peak_live = 0
 
     def push(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at ``time`` and return the event handle."""
         event = Event(time=time, seq=next(self._counter), callback=callback, queue=self)
         heapq.heappush(self._heap, event)
         self._live += 1
+        self.pushed += 1
+        if self._live > self.peak_live:
+            self.peak_live = self._live
         return event
 
     def pop(self) -> Optional[Event]:
@@ -76,6 +93,7 @@ class EventQueue:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
                 self._live -= 1
+                self.popped += 1
                 event.queue = None
                 return event
         return None
@@ -127,6 +145,26 @@ class SimulationEngine:
     def pending_events(self) -> int:
         """Number of events still scheduled."""
         return len(self._queue)
+
+    @property
+    def events_scheduled(self) -> int:
+        """Lifetime count of events ever pushed onto the queue."""
+        return self._queue.pushed
+
+    @property
+    def events_fired(self) -> int:
+        """Lifetime count of live events popped for execution."""
+        return self._queue.popped
+
+    @property
+    def events_cancelled(self) -> int:
+        """Lifetime count of events cancelled while pending."""
+        return self._queue.cancelled
+
+    @property
+    def peak_pending_events(self) -> int:
+        """High watermark of the pending (live) event count."""
+        return self._queue.peak_live
 
     def next_event_time(self) -> Optional[float]:
         """Time of the earliest pending event, or ``None`` when idle.

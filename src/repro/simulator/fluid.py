@@ -48,6 +48,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import Instrumentation, NOOP
 from .config import SimulationConfig
 from .engine import SimulationEngine, SimulationError
 from .fct import FCTCollector, FlowRecord, IdealFctModel, MetricsStore
@@ -165,6 +166,9 @@ class SimulationResult:
         scenario_metrics: per-event recovery metrics
             (:class:`~repro.scenarios.injector.ScenarioMetrics`) when the
             run carried a scenario, else ``None``.
+        stats: observability snapshot (counters / gauges / histograms /
+            phase timers, see DESIGN.md "Observability plane") when the run
+            had ``SimulationConfig.instrumentation`` on, else ``None``.
     """
 
     def __init__(
@@ -179,6 +183,7 @@ class SimulationResult:
         failed_flows: Optional[List[FlowFailure]] = None,
         scenario_metrics: Optional[object] = None,
         store: Optional[MetricsStore] = None,
+        stats: Optional[dict] = None,
     ) -> None:
         self._records_override: Optional[List[FlowRecord]] = (
             list(records) if records is not None else None
@@ -192,6 +197,7 @@ class SimulationResult:
         self.trace = trace
         self.failed_flows = list(failed_flows) if failed_flows is not None else []
         self.scenario_metrics = scenario_metrics
+        self.stats = stats
 
     @property
     def records(self) -> List[FlowRecord]:
@@ -267,6 +273,34 @@ class FluidSimulation:
         self.config.validate()
         self.cc_factory = cc_factory
         self.demands = sorted(demands, key=lambda d: (d.arrival_s, d.flow_id))
+
+        #: observability plane — the NOOP singleton when instrumentation is
+        #: off, so every site below is an inert attribute access.  Span
+        #: handles and counters are bound once here (reusable,
+        #: non-re-entrant) so the hot loops pay only the enter/exit cost.
+        #: Instrumentation never touches simulation numerics or RNG
+        #: streams: results stay bit-for-bit identical either way.
+        self.obs = Instrumentation() if self.config.instrumentation else NOOP
+        obs = self.obs
+        self._sp_update = obs.span("step.update")
+        self._sp_revalidate = obs.span("update.revalidate")
+        self._sp_load_queue = obs.span("update.load_queue")
+        self._sp_signals = obs.span("update.signals")
+        self._sp_feedback = obs.span("update.feedback")
+        self._sp_cc = obs.span("update.cc_advance")
+        self._sp_completions = obs.span("update.completions")
+        self._sp_monitor = obs.span("step.monitor")
+        self._sp_gc = obs.span("step.gc")
+        self._sp_arrivals = obs.span("step.arrivals")
+        self._sp_arrival_route = obs.span("arrivals.route")
+        self._ctr_repeated = obs.counter("slow_path.deliver_repeated")
+        self._ctr_object_gather = obs.counter("slow_path.object_gather_dispatch")
+        self._ctr_seq_routing = obs.counter("slow_path.sequential_routing")
+        self._ctr_reroutes = obs.counter("slow_path.reroutes")
+        self._ctr_cc_kernels = obs.counter("cc.kernel_dispatches")
+        self._ctr_batches = obs.counter("arrivals.batches")
+        self._ctr_admitted = obs.counter("arrivals.flows_admitted")
+        self._hist_batch_size = obs.histogram("arrivals.batch_size")
 
         self.engine = SimulationEngine()
         self._rng = np.random.default_rng(self.config.seed)
@@ -528,6 +562,7 @@ class FluidSimulation:
         def arrive() -> None:
             self._arrival_events.pop(demand.flow_id, None)
             self._pending_arrivals -= 1
+            self._ctr_seq_routing.inc()
             now = self.engine.now
             path = self.network.resolve_path(demand, now)
             base_rtt = 2.0 * sum(link.delay_s for link in path)
@@ -581,34 +616,39 @@ class FluidSimulation:
         instant.
         """
         self._batch_event = None
-        now = self.engine.now
-        horizon = self.engine.next_event_time()
-        heap = self._arrival_heap
-        guard = self._tie_guard
-        batch: List[FlowDemand] = []
-        while heap:
-            t, flow_id, strict, demand = heap[0]
-            if flow_id in self._cancelled_ids:
+        with self._sp_arrivals:
+            now = self.engine.now
+            horizon = self.engine.next_event_time()
+            heap = self._arrival_heap
+            guard = self._tie_guard
+            batch: List[FlowDemand] = []
+            while heap:
+                t, flow_id, strict, demand = heap[0]
+                if flow_id in self._cancelled_ids:
+                    heapq.heappop(heap)
+                    self._cancelled_ids.discard(flow_id)
+                    continue
+                if t > now and horizon is not None:
+                    if t > horizon:
+                        break
+                    if t == horizon and (strict or t in guard):
+                        break
                 heapq.heappop(heap)
-                self._cancelled_ids.discard(flow_id)
-                continue
-            if t > now and horizon is not None:
-                if t > horizon:
-                    break
-                if t == horizon and (strict or t in guard):
-                    break
-            heapq.heappop(heap)
-            batch.append(demand)
-        if batch:
-            self._admit_arrivals(batch)
-        self._ensure_batch_event()
+                batch.append(demand)
+            if batch:
+                self._admit_arrivals(batch)
+            self._ensure_batch_event()
 
     def _admit_arrivals(self, batch: List[FlowDemand]) -> None:
         """Route and activate one drained arrival batch (arrival order)."""
+        self._ctr_batches.inc()
+        self._ctr_admitted.inc(len(batch))
+        self._hist_batch_size.observe(len(batch))
         times = np.fromiter(
             (d.arrival_s for d in batch), dtype=np.float64, count=len(batch)
         )
-        paths = self.network.resolve_paths_batch(batch, times)
+        with self._sp_arrival_route:
+            paths = self.network.resolve_paths_batch(batch, times)
         table = self._table
         collector = self.collector
         for demand, path in zip(batch, paths):
@@ -657,18 +697,21 @@ class FluidSimulation:
         return self._rows_arr[: self._n_active]
 
     def _monitor_step(self) -> None:
-        self.monitor.sample(self.engine.now)
+        with self._sp_monitor:
+            self.monitor.sample(self.engine.now)
 
     def _gc_step(self) -> None:
-        self.network.tick_all(self.engine.now)
+        with self._sp_gc:
+            self.network.tick_all(self.engine.now)
 
     def _update_step(self) -> None:
-        if self._incidence is None:
-            self._update_step_scalar()
-        elif self._soa:
-            self._update_step_vectorized()
-        else:
-            self._update_step_vectorized_legacy()
+        with self._sp_update:
+            if self._incidence is None:
+                self._update_step_scalar()
+            elif self._soa:
+                self._update_step_vectorized()
+            else:
+                self._update_step_vectorized_legacy()
 
     def _maybe_stop(self) -> None:
         if not self._active and self._pending_arrivals == 0 and not self._stopped:
@@ -765,6 +808,7 @@ class FluidSimulation:
                 # object-gather baseline (the CC benchmark's comparison
                 # point): gather the controllers off the table and run the
                 # object-level batch delivery
+                self._ctr_object_gather.inc()
                 for gen, rows, lanes in batches:
                     ccs = [table.flow_at(r).cc for r in rows.tolist()]
                     self._deliver_object_batch(gen, ccs, lanes, now)
@@ -773,6 +817,7 @@ class FluidSimulation:
             single_cls = next(iter(counts)) if len(counts) == 1 else None
             for gen, rows, lanes in batches:
                 if single_cls is not None:
+                    self._ctr_cc_kernels.inc()
                     single_cls.feedback_batch_slots(
                         table,
                         rows,
@@ -792,6 +837,7 @@ class FluidSimulation:
                 cids = table.cc_class_id[rows]
                 for cid in np.unique(cids).tolist():
                     sel = np.flatnonzero(cids == cid)
+                    self._ctr_cc_kernels.inc()
                     table.cc_class_at(cid).feedback_batch_slots(
                         table,
                         rows[sel],
@@ -834,6 +880,7 @@ class FluidSimulation:
 
     def _deliver_repeated(self, batches, now: float) -> None:
         """Slow path: some flow has several signals due in one step."""
+        self._ctr_repeated.inc()
         by_flow: Dict[int, list] = {}
         for gen, payload, lanes in batches:
             if self._soa:
@@ -969,146 +1016,160 @@ class FluidSimulation:
             return
 
         # 0. lazy fast-failover sweep (may reroute / fail flows)
-        self.revalidate_flows(now)
+        with self._sp_revalidate:
+            self.revalidate_flows(now)
         active = self._active
         if not active:
             self._maybe_stop()
             return
 
-        inc = self._incidence
-        table = self._table
-        rows = self._active_rows()
-        inc.refresh(rows)
-        idx, starts = inc.idx, inc.starts
-        cap, up = inc.cap_bps, inc.up
+        with self._sp_load_queue:
+            inc = self._incidence
+            table = self._table
+            rows = self._active_rows()
+            inc.refresh(rows)
+            idx, starts = inc.idx, inc.starts
+            cap, up = inc.cap_bps, inc.up
 
-        # 1. offered load per link: flow-major scatter-add, which keeps the
-        # per-link accumulation order identical to the scalar dict loop
-        rates = table.cc_rate_bps[rows]
-        offered = np.zeros(inc.num_links)
-        np.add.at(offered, idx, np.repeat(rates, inc.lengths))
+            # 1. offered load per link: flow-major scatter-add, which keeps
+            # the per-link accumulation order identical to the scalar dict
+            # loop
+            rates = table.cc_rate_bps[rows]
+            offered = np.zeros(inc.num_links)
+            np.add.at(offered, idx, np.repeat(rates, inc.lengths))
 
-        # 2. queue integration (active slots only — the scalar path only
-        # integrates links that appear on some active flow's path) and the
-        # per-link scaling factor
-        act = inc.active_slots
-        queue, peak, carried, dropped, _ = RuntimeLink.integrate_batch(
-            offered[act],
-            dt,
-            cap[act],
-            up[act],
-            inc.buffer_bytes[act],
-            inc.queue_bytes[act],
-            inc.peak_queue_bytes[act],
-            inc.carried_bytes[act],
-            inc.dropped_bytes[act],
-        )
-        inc.queue_bytes[act] = queue
-        inc.peak_queue_bytes[act] = peak
-        inc.carried_bytes[act] = carried
-        inc.dropped_bytes[act] = dropped
-        inc.offered_bps[act] = offered[act]
-
-        loaded = offered > 0
-        ratio = np.zeros(inc.num_links)
-        np.divide(cap, offered, out=ratio, where=loaded)
-        scale = np.where(
-            ~up, 0.0, np.where(loaded, np.minimum(1.0, ratio), 1.0)
-        )
-
-        # 3. per-flow achieved rate: min scale across the path
-        factor = np.minimum.reduceat(scale[idx], starts)
-        achieved = rates * factor
-        want = achieved * dt / 8.0
-        before = table.remaining_bytes[rows]
-        remaining = before - np.minimum(want, before)
-
-        # 4. congestion feedback from the same arrays (post-integration
-        # queues, step-1 offered loads), exactly as _feedback_for computes
-        # per link
-        q = inc.queue_bytes
-        span = inc.ecn_kmax - inc.ecn_kmin
-        mark = np.zeros(inc.num_links)
-        np.divide(
-            inc.ecn_pmax * (q - inc.ecn_kmin), span, out=mark, where=span > 0
-        )
-        mark = np.where(q <= inc.ecn_kmin, 0.0, np.where(q >= inc.ecn_kmax, 1.0, mark))
-
-        util = np.zeros(inc.num_links)
-        np.divide(offered, cap, out=util, where=cap > 0)
-        max_util = np.maximum.reduceat(util[idx], starts)
-
-        not_marked, queue_delay = self._accumulate_path_signals(
-            inc, 1.0 - mark, q * 8.0 / cap
-        )
-        ecn_fraction = 1.0 - not_marked
-        base_rtt = table.base_rtt_s[rows]
-        rtt = base_rtt + queue_delay
-
-        # 5. this step's feedback goes into the array delay line (lanes
-        # addressed by table row + epoch), per-flow progress is scattered
-        # straight into the table columns, then everything due anywhere in
-        # the line is delivered; controllers are per-flow and mutually
-        # independent, so delivering all due feedback and then advancing
-        # all controllers preserves the scalar loop's per-flow
-        # (enqueue -> deliver -> interval) order
-        self._feedback_line.append(
-            _FeedbackGeneration(
-                now,
-                now + base_rtt,
-                ecn_fraction,
-                max_util,
-                rtt,
-                queue_delay,
-                rows=rows.copy(),
-                epochs=table.epoch[rows],
+            # 2. queue integration (active slots only — the scalar path
+            # only integrates links that appear on some active flow's path)
+            # and the per-link scaling factor
+            act = inc.active_slots
+            queue, peak, carried, dropped, _ = RuntimeLink.integrate_batch(
+                offered[act],
+                dt,
+                cap[act],
+                up[act],
+                inc.buffer_bytes[act],
+                inc.queue_bytes[act],
+                inc.peak_queue_bytes[act],
+                inc.carried_bytes[act],
+                inc.dropped_bytes[act],
             )
-        )
-        table.achieved_bps[rows] = achieved
-        table.remaining_bytes[rows] = remaining
-        self._deliver_feedback_line(now)
+            inc.queue_bytes[act] = queue
+            inc.peak_queue_bytes[act] = peak
+            inc.carried_bytes[act] = carried
+            inc.dropped_bytes[act] = dropped
+            inc.offered_bps[act] = offered[act]
 
-        if not self._cc_blocks:
-            # object-gather baseline (the CC benchmark's comparison point)
-            controllers = [table.flow_at(s).cc for s in rows.tolist()]
-            cc_cls = type(controllers[0])
-            if all(type(cc) is cc_cls for cc in controllers):
-                cc_cls.advance_batch(controllers, dt, now)
+            loaded = offered > 0
+            ratio = np.zeros(inc.num_links)
+            np.divide(cap, offered, out=ratio, where=loaded)
+            scale = np.where(
+                ~up, 0.0, np.where(loaded, np.minimum(1.0, ratio), 1.0)
+            )
+
+        with self._sp_signals:
+            # 3. per-flow achieved rate: min scale across the path
+            factor = np.minimum.reduceat(scale[idx], starts)
+            achieved = rates * factor
+            want = achieved * dt / 8.0
+            before = table.remaining_bytes[rows]
+            remaining = before - np.minimum(want, before)
+
+            # 4. congestion feedback from the same arrays
+            # (post-integration queues, step-1 offered loads), exactly as
+            # _feedback_for computes per link
+            q = inc.queue_bytes
+            span = inc.ecn_kmax - inc.ecn_kmin
+            mark = np.zeros(inc.num_links)
+            np.divide(
+                inc.ecn_pmax * (q - inc.ecn_kmin), span, out=mark, where=span > 0
+            )
+            mark = np.where(
+                q <= inc.ecn_kmin, 0.0, np.where(q >= inc.ecn_kmax, 1.0, mark)
+            )
+
+            util = np.zeros(inc.num_links)
+            np.divide(offered, cap, out=util, where=cap > 0)
+            max_util = np.maximum.reduceat(util[idx], starts)
+
+            not_marked, queue_delay = self._accumulate_path_signals(
+                inc, 1.0 - mark, q * 8.0 / cap
+            )
+            ecn_fraction = 1.0 - not_marked
+            base_rtt = table.base_rtt_s[rows]
+            rtt = base_rtt + queue_delay
+
+        with self._sp_feedback:
+            # 5. this step's feedback goes into the array delay line (lanes
+            # addressed by table row + epoch), per-flow progress is
+            # scattered straight into the table columns, then everything
+            # due anywhere in the line is delivered; controllers are
+            # per-flow and mutually independent, so delivering all due
+            # feedback and then advancing all controllers preserves the
+            # scalar loop's per-flow (enqueue -> deliver -> interval) order
+            self._feedback_line.append(
+                _FeedbackGeneration(
+                    now,
+                    now + base_rtt,
+                    ecn_fraction,
+                    max_util,
+                    rtt,
+                    queue_delay,
+                    rows=rows.copy(),
+                    epochs=table.epoch[rows],
+                )
+            )
+            table.achieved_bps[rows] = achieved
+            table.remaining_bytes[rows] = remaining
+            self._deliver_feedback_line(now)
+
+        with self._sp_cc:
+            if not self._cc_blocks:
+                # object-gather baseline (the CC benchmark's comparison
+                # point)
+                self._ctr_object_gather.inc()
+                controllers = [table.flow_at(s).cc for s in rows.tolist()]
+                cc_cls = type(controllers[0])
+                if all(type(cc) is cc_cls for cc in controllers):
+                    cc_cls.advance_batch(controllers, dt, now)
+                else:
+                    for cc in controllers:
+                        cc.on_interval(dt, now)
             else:
-                for cc in controllers:
-                    cc.on_interval(dt, now)
-        else:
-            counts = table.class_counts
-            if len(counts) == 1:
-                (cc_cls,) = counts
-                cc_cls.advance_batch_slots(table, rows, dt, now)
-            else:
-                # mixed fleet: each class advances its cached row registry
-                # in place — controllers are per-flow and independent, so
-                # grouped advancement matches the scalar per-flow order
-                for cc_cls, cls_rows in table.rows_by_class():
-                    cc_cls.advance_batch_slots(table, cls_rows, dt, now)
+                counts = table.class_counts
+                if len(counts) == 1:
+                    (cc_cls,) = counts
+                    self._ctr_cc_kernels.inc()
+                    cc_cls.advance_batch_slots(table, rows, dt, now)
+                else:
+                    # mixed fleet: each class advances its cached row
+                    # registry in place — controllers are per-flow and
+                    # independent, so grouped advancement matches the
+                    # scalar per-flow order
+                    for cc_cls, cls_rows in table.rows_by_class():
+                        self._ctr_cc_kernels.inc()
+                        cc_cls.advance_batch_slots(table, cls_rows, dt, now)
 
-        # 6. completions (mark_finished touches no controller state, so
-        # running it after the CC advance matches the scalar outcome)
-        finished: List[Flow] = []
-        completed_idx = np.flatnonzero(remaining <= 0.0)
-        if completed_idx.size:
-            want_l = want[completed_idx].tolist()
-            before_l = before[completed_idx].tolist()
-            for k, i in enumerate(completed_idx.tolist()):
-                flow = active[i]
-                would_send = want_l[k]
-                fraction = before_l[k] / would_send if would_send > 0 else 1.0
-                fraction = min(1.0, max(0.0, fraction))
-                flow.mark_finished(now + fraction * dt)
-                finished.append(flow)
+        with self._sp_completions:
+            # 6. completions (mark_finished touches no controller state, so
+            # running it after the CC advance matches the scalar outcome)
+            finished: List[Flow] = []
+            completed_idx = np.flatnonzero(remaining <= 0.0)
+            if completed_idx.size:
+                want_l = want[completed_idx].tolist()
+                before_l = before[completed_idx].tolist()
+                for k, i in enumerate(completed_idx.tolist()):
+                    flow = active[i]
+                    would_send = want_l[k]
+                    fraction = before_l[k] / would_send if would_send > 0 else 1.0
+                    fraction = min(1.0, max(0.0, fraction))
+                    flow.mark_finished(now + fraction * dt)
+                    finished.append(flow)
 
-        self._finish_flows(finished)
-        # the queue monitor, link traces and scenario events read inter-DC
-        # link objects between steps
-        inc.sync_inter_dc()
-        self._maybe_stop()
+            self._finish_flows(finished)
+            # the queue monitor, link traces and scenario events read
+            # inter-DC link objects between steps
+            inc.sync_inter_dc()
+            self._maybe_stop()
 
     def _update_step_vectorized_legacy(self) -> None:
         """The PR-2 object-resident vectorized core (``soa=False``).
@@ -1269,6 +1330,7 @@ class FluidSimulation:
             return False
         if any(not link.up for link in new_path):
             return False
+        self._ctr_reroutes.inc()
         flow.path = tuple(new_path)
         flow.base_rtt_s = 2.0 * sum(link.delay_s for link in new_path)
         flow.route_id = self.collector.route_index_for(flow.demand.src_dc, flow.path)
@@ -1340,6 +1402,8 @@ class FluidSimulation:
         decisions = sum(
             switch.decision_count for switch in self.network.switches.values()
         )
+        if self.obs.enabled:
+            self._harvest_metrics(decisions)
         return SimulationResult(
             store=self.collector.store,
             link_stats=stats,
@@ -1350,4 +1414,58 @@ class FluidSimulation:
             trace=self._trace,
             failed_flows=list(self._failed),
             scenario_metrics=self.injector.metrics if self.injector else None,
+            stats=self.obs.snapshot(),
         )
+
+    def _harvest_metrics(self, decisions: int) -> None:
+        """Pull component-held plain-int counters into the obs registry.
+
+        Hot components (engine queue, incidence, switches, routers, flow
+        caches) maintain cheap always-on integer counters; rather than
+        routing every increment through the registry, the run harvests
+        their final values here, once, at result-build time.
+        """
+        obs = self.obs
+        engine = self.engine
+        obs.counter("engine.events_scheduled").inc(engine.events_scheduled)
+        obs.counter("engine.events_fired").inc(engine.events_fired)
+        obs.counter("engine.events_cancelled").inc(engine.events_cancelled)
+        obs.gauge("engine.peak_pending_events").set(engine.peak_pending_events)
+        inc = self._incidence
+        if inc is not None:
+            obs.counter("incidence.registry_rebuilds").inc(inc.registry_rebuilds)
+            obs.counter("incidence.membership_rebuilds").inc(inc.membership_rebuilds)
+            obs.counter("incidence.dynamic_regathers").inc(inc.dynamic_regathers)
+        if self.telemetry is not None:
+            obs.counter("telemetry.sweeps").inc(self.telemetry.sweeps)
+        obs.counter("monitor.samples").inc(self.monitor.samples_taken)
+        obs.counter("routing.decisions").inc(decisions)
+        batch_calls = fallbacks = sequential = 0
+        hits = misses = evictions = gc_evictions = 0
+        for switch in self.network.switches.values():
+            batch_calls += switch.batch_calls
+            log = switch.decision_log
+            fallbacks += int(log.fallback[: len(log)].sum())
+            router = switch.router
+            sequential += getattr(router, "sequential_batch_decisions", 0)
+            cache = getattr(router, "flow_cache", None)
+            if cache is not None:
+                hits += cache.hits
+                misses += cache.misses
+                evictions += cache.evictions
+                gc_evictions += cache.gc_evictions
+        obs.counter("routing.batch_calls").inc(batch_calls)
+        obs.counter("routing.fallback_decisions").inc(fallbacks)
+        obs.counter("slow_path.sequential_batch_decisions").inc(sequential)
+        obs.counter("flow_cache.hits").inc(hits)
+        obs.counter("flow_cache.misses").inc(misses)
+        obs.counter("flow_cache.evictions").inc(evictions)
+        obs.counter("flow_cache.gc_evictions").inc(gc_evictions)
+        if self.injector is not None:
+            applied = sum(
+                1
+                for outcome in self.injector.metrics.outcomes
+                if outcome.applied_s is not None
+            )
+            obs.counter("scenario.events_applied").inc(applied)
+            obs.counter("scenario.flows_failed").inc(len(self._failed))

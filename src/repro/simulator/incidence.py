@@ -79,6 +79,11 @@ class FlowLinkIncidence:
         self.active_slots = np.empty(0, dtype=np.intp)
         self._membership_dirty = True
         self._registry_dirty = True
+        # lifetime rebuild counters (plain ints; harvested into the
+        # observability registry at result-build time when enabled)
+        self.registry_rebuilds = 0
+        self.membership_rebuilds = 0
+        self.dynamic_regathers = 0
 
     # ------------------------------------------------------------------ #
     # registry
@@ -109,6 +114,7 @@ class FlowLinkIncidence:
 
     def _refresh_registry(self) -> None:
         """Regrow the static and state arrays after new links registered."""
+        self.registry_rebuilds += 1
         old = len(self.queue_bytes)
         new = len(self._links)
         self.buffer_bytes = np.array(self._buffer_l)
@@ -132,6 +138,7 @@ class FlowLinkIncidence:
 
     def _refresh_dynamic(self) -> None:
         """Re-gather capacity / liveness when some link mutated."""
+        self.dynamic_regathers += 1
         n = len(self._links)
         self.cap_bps = np.fromiter(
             (link.cap_bps for link in self._links), dtype=np.float64, count=n
@@ -206,6 +213,7 @@ class FlowLinkIncidence:
         if self._registry_dirty:
             self._refresh_registry()
         if self._membership_dirty:
+            self.membership_rebuilds += 1
             if len(active_rows):
                 paths = self._paths
                 per_flow = [paths[row] for row in active_rows.tolist()]

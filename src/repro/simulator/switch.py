@@ -256,6 +256,8 @@ class DCISwitch:
         self.router = router
         self._ports: Dict[str, RuntimeLink] = {}
         self.decision_log = DecisionLog()
+        #: lifetime count of route_flows_batch calls (batched control plane)
+        self.batch_calls = 0
         router.attach(self)
 
     # ------------------------------------------------------------------ #
@@ -366,6 +368,7 @@ class DCISwitch:
         Raises:
             ValueError: when ``candidates`` is empty.
         """
+        self.batch_calls += 1
         positions, fallback = self._usable_candidates(dst_dc, candidates)
         usable = [candidates[j] for j in positions]
         usable_ids = (

@@ -1,0 +1,82 @@
+"""Unit tests for the per-phase performance report helpers."""
+
+import json
+
+from repro.analysis import perf_report, phase_breakdown, phase_breakdown_json, top_counters
+from repro.obs import Instrumentation
+
+
+def make_snapshot():
+    instr = Instrumentation()
+    instr.counter("slow_path.deliver_repeated").inc(4)
+    instr.counter("engine.events_fired").inc(100)
+    instr.gauge("engine.peak_pending_events").set(7.0)
+    snap = instr.snapshot()
+    # deterministic timings, injected directly into the schema
+    snap["phases"] = {
+        "step.update": {"count": 10, "total_ns": 8_000_000, "max_ns": 1_000_000},
+        "update.signals": {"count": 10, "total_ns": 6_000_000, "max_ns": 700_000},
+        "step.gc": {"count": 2, "total_ns": 2_000_000, "max_ns": 1_500_000},
+        "never.ran": {"count": 0, "total_ns": 0, "max_ns": 0},
+    }
+    return snap
+
+
+class TestPhaseBreakdown:
+    def test_rows_sorted_by_total_time(self):
+        rows = phase_breakdown(make_snapshot())
+        assert [r["name"] for r in rows] == [
+            "step.update",
+            "update.signals",
+            "step.gc",
+            "never.ran",
+        ]
+
+    def test_row_fields(self):
+        row = phase_breakdown(make_snapshot())[0]
+        assert row["count"] == 10
+        assert row["total_ms"] == 8.0
+        assert row["mean_us"] == 800.0
+        assert row["max_us"] == 1000.0
+        assert row["share"] == 8 / 16
+
+    def test_zero_count_phase_has_zero_mean(self):
+        rows = {r["name"]: r for r in phase_breakdown(make_snapshot())}
+        assert rows["never.ran"]["mean_us"] == 0.0
+
+    def test_top_limits_rows(self):
+        assert len(phase_breakdown(make_snapshot(), top=2)) == 2
+
+
+class TestTopCounters:
+    def test_sorted_by_value(self):
+        rows = top_counters(make_snapshot())
+        assert rows[0] == {"name": "engine.events_fired", "value": 100}
+        assert rows[1] == {"name": "slow_path.deliver_repeated", "value": 4}
+
+    def test_top_limits(self):
+        assert len(top_counters(make_snapshot(), top=1)) == 1
+
+
+class TestPerfReport:
+    def test_none_snapshot_says_so(self):
+        assert "instrumentation=True" in perf_report(None)
+
+    def test_report_mentions_phases_and_counters(self):
+        text = perf_report(make_snapshot())
+        assert "step.update" in text
+        assert "engine.events_fired" in text
+        assert "phase breakdown" in text
+
+
+class TestPhaseBreakdownJson:
+    def test_none_yields_empty_dict(self):
+        assert phase_breakdown_json(None) == {}
+
+    def test_schema_and_serialisability(self):
+        payload = phase_breakdown_json(make_snapshot())
+        assert set(payload) == {"phases", "counters", "gauges"}
+        assert payload["phases"][0]["name"] == "step.update"
+        assert payload["counters"]["engine.events_fired"] == 100
+        assert payload["gauges"]["engine.peak_pending_events"]["max"] == 7.0
+        json.dumps(payload)

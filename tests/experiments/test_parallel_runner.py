@@ -114,3 +114,71 @@ def test_spec_vectorized_plumbs_through(vectorized):
     spec = ExperimentSpec(name="plumb", num_flows=40, vectorized=vectorized)
     config = ExperimentRunner().simulation_config_for(spec)
     assert config.vectorized is vectorized
+
+
+@pytest.mark.parametrize("instrumentation", [True, False])
+def test_spec_instrumentation_plumbs_through(instrumentation):
+    spec = ExperimentSpec(name="plumb", num_flows=40, instrumentation=instrumentation)
+    config = ExperimentRunner().simulation_config_for(spec)
+    assert config.instrumentation is instrumentation
+
+
+class TestSweepStatsAggregation:
+    """Cross-worker observability aggregation (``aggregate_stats`` /
+    ``last_sweep_stats``): a parallel sweep must merge to the same
+    deterministic profile as a serial one — counters and event counts are
+    exact; only wall-clock phase durations may differ."""
+
+    @staticmethod
+    def instrumented_specs():
+        return [
+            spec.with_overrides(instrumentation=True) for spec in small_specs()
+        ]
+
+    @staticmethod
+    def deterministic_view(stats):
+        return {
+            "counters": stats["counters"],
+            "phase_counts": {
+                name: p["count"] for name, p in stats["phases"].items()
+            },
+            "histograms": {
+                name: {
+                    "count": h["count"],
+                    "sum": h["sum"],
+                    "max": h["max"],
+                    "samples": sorted(h["samples"]),
+                }
+                for name, h in stats["histograms"].items()
+            },
+        }
+
+    def test_uninstrumented_sweep_aggregates_to_none(self):
+        runner = ExperimentRunner()
+        runner.run_many(small_specs()[:2], parallel=False)
+        assert runner.last_sweep_stats is None
+
+    def test_parallel_aggregation_matches_serial(self):
+        serial_runner = ExperimentRunner()
+        serial_runner.run_many(self.instrumented_specs(), parallel=False)
+        parallel_runner = ExperimentRunner()
+        parallel_runner.run_many(
+            self.instrumented_specs(), parallel=True, max_workers=2
+        )
+        serial = serial_runner.last_sweep_stats
+        parallel = parallel_runner.last_sweep_stats
+        assert serial is not None and parallel is not None
+        assert self.deterministic_view(serial) == self.deterministic_view(parallel)
+        assert serial["counters"]["engine.events_fired"] > 0
+
+    def test_aggregate_skips_uninstrumented_runs(self):
+        specs = small_specs()[:2]
+        specs[0] = specs[0].with_overrides(instrumentation=True)
+        runner = ExperimentRunner()
+        runs = runner.run_many(specs, parallel=False)
+        assert runs[0].result.stats is not None
+        assert runs[1].result.stats is None
+        merged = runner.last_sweep_stats
+        assert merged == ExperimentRunner.aggregate_stats(runs)
+        # the merge is exactly the one instrumented run's counters
+        assert merged["counters"] == runs[0].result.stats["counters"]

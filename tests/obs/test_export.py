@@ -1,0 +1,107 @@
+"""Unit tests for the exporters: Chrome trace, Prometheus text, merge."""
+
+import json
+
+from repro.obs import (
+    Instrumentation,
+    NOOP,
+    chrome_trace,
+    merge_snapshots,
+    prometheus_text,
+    write_chrome_trace,
+)
+
+
+def make_snapshot(counter=3, gauge=(2.0, 5.0), hist=(1.0, 4.0)):
+    instr = Instrumentation()
+    instr.counter("slow_path.deliver_repeated").inc(counter)
+    g = instr.gauge("engine.peak_pending_events")
+    g.set(gauge[1])
+    g.set(gauge[0])
+    h = instr.histogram("arrivals.batch_size")
+    for v in hist:
+        h.observe(v)
+    with instr.span("step.update"):
+        pass
+    return instr.snapshot()
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        instr = Instrumentation()
+        with instr.span("step.update"):
+            pass
+        doc = chrome_trace(instr)
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) == 1
+        assert doc["traceEvents"][0]["name"] == "step.update"
+
+    def test_write_is_perfetto_loadable_json(self, tmp_path):
+        instr = Instrumentation()
+        with instr.span("a"):
+            pass
+        path = tmp_path / "run.trace.json"
+        write_chrome_trace(instr, path)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"][0]["ph"] == "X"
+
+    def test_disabled_instrumentation_writes_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trace.json"
+        write_chrome_trace(NOOP, path)
+        assert json.loads(path.read_text())["traceEvents"] == []
+
+
+class TestPrometheusText:
+    def test_renders_every_section(self):
+        text = prometheus_text(make_snapshot())
+        assert "# TYPE slow_path_deliver_repeated counter" in text
+        assert "slow_path_deliver_repeated 3" in text
+        assert "engine_peak_pending_events 2.0" in text
+        assert "engine_peak_pending_events_max 5.0" in text
+        assert "arrivals_batch_size_count 2" in text
+        assert "arrivals_batch_size_sum 5.0" in text
+        assert "step_update_seconds_count 1" in text
+
+    def test_dots_and_dashes_become_underscores(self):
+        instr = Instrumentation()
+        instr.counter("a.b-c").inc()
+        assert "a_b_c 1" in prometheus_text(instr.snapshot())
+
+
+class TestMergeSnapshots:
+    def test_all_none_merges_to_none(self):
+        assert merge_snapshots([]) is None
+        assert merge_snapshots([None, None]) is None
+
+    def test_none_entries_skipped(self):
+        snap = make_snapshot(counter=2)
+        merged = merge_snapshots([None, snap, None])
+        assert merged["counters"]["slow_path.deliver_repeated"] == 2
+
+    def test_counters_and_phase_counts_sum(self):
+        merged = merge_snapshots([make_snapshot(counter=2), make_snapshot(counter=5)])
+        assert merged["counters"]["slow_path.deliver_repeated"] == 7
+        assert merged["phases"]["step.update"]["count"] == 2
+
+    def test_gauge_max_and_last_semantics(self):
+        a = make_snapshot(gauge=(1.0, 9.0))
+        b = make_snapshot(gauge=(4.0, 6.0))
+        merged = merge_snapshots([a, b])
+        g = merged["gauges"]["engine.peak_pending_events"]
+        assert g["max"] == 9.0  # fleet-wide high watermark
+        assert g["last"] == 4.0  # last run's final value
+
+    def test_histogram_samples_concatenate(self):
+        a = make_snapshot(hist=(1.0, 2.0))
+        b = make_snapshot(hist=(3.0,))
+        h = merge_snapshots([a, b])["histograms"]["arrivals.batch_size"]
+        assert h["count"] == 3
+        assert h["sum"] == 6.0
+        assert h["max"] == 3.0
+        assert sorted(h["samples"]) == [1.0, 2.0, 3.0]
+
+    def test_merged_schema_matches_single_run(self):
+        snap = make_snapshot()
+        merged = merge_snapshots([snap, snap])
+        assert set(merged) == set(snap)
+        assert merge_snapshots([merged]) is not None  # re-mergeable

@@ -1,0 +1,114 @@
+"""Unit tests for the metrics primitives (Counter/Gauge/Histogram/Registry)."""
+
+import numpy as np
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+
+class TestGauge:
+    def test_tracks_last_and_high_watermark(self):
+        g = Gauge("depth")
+        g.set(3.0)
+        g.set(9.0)
+        g.set(2.0)
+        assert g.value == 2.0
+        assert g.high == 9.0
+
+
+class TestHistogram:
+    def test_lifetime_aggregates(self):
+        h = Histogram("sizes", capacity=8)
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.max == 3.0
+        assert h.mean == 2.0
+        assert sorted(h.samples().tolist()) == [1.0, 2.0, 3.0]
+
+    def test_ring_bounds_memory_but_not_aggregates(self):
+        h = Histogram("sizes", capacity=4)
+        for v in range(10):
+            h.observe(float(v))
+        # lifetime stats cover all 10 observations
+        assert h.count == 10
+        assert h.total == sum(range(10))
+        assert h.max == 9.0
+        # the ring only retains the last `capacity` of them
+        retained = h.samples()
+        assert len(retained) == 4
+        assert set(retained.tolist()) == {6.0, 7.0, 8.0, 9.0}
+
+    def test_percentile_over_retained_samples(self):
+        h = Histogram("lat", capacity=128)
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(100) == 100.0
+        assert Histogram("empty").percentile(99) == 0.0
+
+    def test_empty_mean_and_samples(self):
+        h = Histogram("empty")
+        assert h.mean == 0.0
+        assert h.samples().tolist() == []
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", capacity=0)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("engine.events_fired")
+        b = reg.counter("engine.events_fired")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_name_pinned_to_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_get_and_names(self):
+        reg = MetricsRegistry()
+        reg.gauge("b")
+        reg.counter("a")
+        assert reg.names() == ["a", "b"]
+        assert isinstance(reg.get("b"), Gauge)
+        assert reg.get("missing") is None
+
+    def test_snapshot_schema(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(7.0)
+        reg.histogram("h").observe(2.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": {"last": 7.0, "max": 7.0}}
+        assert snap["histograms"]["h"] == {
+            "count": 1,
+            "sum": 2.5,
+            "max": 2.5,
+            "samples": [2.5],
+        }
+
+    def test_snapshot_is_json_serialisable(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(np.float64(1.5))
+        json.dumps(reg.snapshot())

@@ -1,0 +1,94 @@
+"""Unit tests for phase timers and the Instrumentation / NOOP facades."""
+
+from repro.obs import NOOP, Instrumentation, NullInstrumentation
+
+
+class TestInstrumentationSpans:
+    def test_span_handle_is_reused_per_name(self):
+        instr = Instrumentation()
+        assert instr.span("step.update") is instr.span("step.update")
+        assert instr.span("step.update") is not instr.span("step.gc")
+
+    def test_span_accumulates_phase_aggregates(self):
+        instr = Instrumentation()
+        span = instr.span("work")
+        for _ in range(3):
+            with span:
+                pass
+        phases = instr.snapshot()["phases"]
+        assert phases["work"]["count"] == 3
+        assert phases["work"]["total_ns"] >= 0
+        assert phases["work"]["max_ns"] <= phases["work"]["total_ns"]
+
+    def test_nested_spans_by_different_names(self):
+        instr = Instrumentation()
+        outer, inner = instr.span("outer"), instr.span("inner")
+        with outer:
+            with inner:
+                pass
+        phases = instr.snapshot()["phases"]
+        assert phases["outer"]["count"] == 1
+        assert phases["inner"]["count"] == 1
+        assert phases["inner"]["total_ns"] <= phases["outer"]["total_ns"]
+
+    def test_unentered_span_appears_with_zero_count(self):
+        instr = Instrumentation()
+        instr.span("never")
+        assert instr.snapshot()["phases"]["never"] == {
+            "count": 0,
+            "total_ns": 0,
+            "max_ns": 0,
+        }
+
+    def test_trace_events_record_each_occurrence(self):
+        instr = Instrumentation()
+        with instr.span("a"):
+            pass
+        with instr.span("b"):
+            pass
+        events = instr.trace_events()
+        assert [e["name"] for e in events] == ["a", "b"]
+        for e in events:
+            assert e["ph"] == "X"
+            assert e["ts"] >= 0.0
+            assert e["dur"] >= 0.0
+            assert e["cat"] == "sim"
+
+    def test_trace_event_cap_bounds_events_not_aggregates(self):
+        instr = Instrumentation(max_trace_events=2)
+        span = instr.span("hot")
+        for _ in range(5):
+            with span:
+                pass
+        assert len(instr.trace_events()) == 2
+        assert instr.snapshot()["phases"]["hot"]["count"] == 5
+
+    def test_metric_passthrough_shares_registry(self):
+        instr = Instrumentation()
+        instr.counter("c").inc()
+        instr.gauge("g").set(1.0)
+        instr.histogram("h").observe(2.0)
+        assert instr.registry.counter("c").value == 1
+        snap = instr.snapshot()
+        assert snap["counters"] == {"c": 1}
+        assert set(snap) == {"counters", "gauges", "histograms", "phases"}
+
+
+class TestNullInstrumentation:
+    def test_noop_is_shared_and_inert(self):
+        assert isinstance(NOOP, NullInstrumentation)
+        assert NOOP.enabled is False
+        assert Instrumentation.enabled is True
+        # every accessor returns a shared singleton, allocating nothing
+        assert NOOP.span("a") is NOOP.span("b")
+        assert NOOP.counter("a") is NOOP.counter("b")
+        assert NOOP.gauge("a") is NOOP.gauge("b")
+        assert NOOP.histogram("a") is NOOP.histogram("b")
+
+    def test_noop_operations_do_nothing(self):
+        with NOOP.span("x"):
+            NOOP.counter("c").inc(5)
+            NOOP.gauge("g").set(9.0)
+            NOOP.histogram("h").observe(1.0)
+        assert NOOP.trace_events() == []
+        assert NOOP.snapshot() is None

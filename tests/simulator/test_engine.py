@@ -64,6 +64,29 @@ class TestEventQueue:
         assert q.pop() is None
         assert len(q) == 0
 
+    def test_lifetime_counters_track_push_pop_cancel(self):
+        """pushed/popped/cancelled are monotone lifetime counters: pushed
+        counts every push, popped only live pops, cancelled only pending
+        cancels (double-cancel and cancel-after-pop don't count)."""
+        q = EventQueue()
+        assert (q.pushed, q.popped, q.cancelled) == (0, 0, 0)
+        events = [q.push(float(i), lambda: None) for i in range(5)]
+        assert q.pushed == 5
+        assert q.peak_live == 5
+        events[1].cancel()
+        events[1].cancel()  # double-cancel counts once
+        assert q.cancelled == 1
+        popped = q.pop()
+        popped.cancel()  # cancel-after-pop counts as neither
+        assert (q.popped, q.cancelled) == (1, 1)
+        while q.pop() is not None:
+            pass
+        # the cancelled event is skipped by pop, not popped
+        assert (q.pushed, q.popped, q.cancelled) == (5, 4, 1)
+        q.push(9.0, lambda: None)
+        assert q.pushed == 6
+        assert q.peak_live == 5  # peak is a high-water mark, not current
+
     def test_live_counter_matches_brute_force_sweep(self):
         import random
 
@@ -173,6 +196,25 @@ class TestEngine:
             engine.schedule(float(i), lambda: None)
         engine.run(max_events=3)
         assert engine.processed_events == 3
+
+    def test_engine_surfaces_queue_lifetime_counters(self):
+        """The engine exposes its queue's lifetime counters, so the
+        observability plane can harvest them without reaching into
+        ``_queue``."""
+        engine = SimulationEngine()
+        keep = [engine.schedule(float(i), lambda: None) for i in range(4)]
+        keep[3].cancel()
+        assert engine.events_scheduled == 4
+        assert engine.peak_pending_events == 4
+        engine.run()
+        assert engine.events_fired == 3
+        assert engine.events_cancelled == 1
+        # periodic events reschedule themselves: scheduled keeps growing
+        engine2 = SimulationEngine()
+        engine2.schedule_periodic(0.1, lambda: None, until=0.35)
+        engine2.run(until=1.0)
+        assert engine2.events_fired == 3
+        assert engine2.events_scheduled >= 3
 
 
 @settings(max_examples=50, deadline=None)
