@@ -36,6 +36,9 @@ class EventImpact:
         flows_disrupted / flows_rerouted / flows_restored / flows_failed:
             recovery counts from the injector.
         flows_injected / flows_cancelled: traffic-event counts.
+        links_affected: directed runtime links the event failed or degraded
+            when it fired (the blast radius of correlated events — an SRLG
+            cut or regional power event hits many links at once).
         mean_reroute_latency_s / max_reroute_latency_s: disruption-to-
             healthy-path latency.
         pre_p50 / post_p50: median slowdown of flows arriving in the window
@@ -54,6 +57,7 @@ class EventImpact:
     flows_failed: int
     flows_injected: int
     flows_cancelled: int
+    links_affected: int
     mean_reroute_latency_s: float
     max_reroute_latency_s: float
     pre_p50: Optional[float]
@@ -110,6 +114,7 @@ def event_impacts(result: SimulationResult, window_s: float = 0.5) -> List[Event
                 flows_failed=outcome.flows_failed,
                 flows_injected=outcome.flows_injected,
                 flows_cancelled=outcome.flows_cancelled,
+                links_affected=outcome.links_affected,
                 mean_reroute_latency_s=outcome.mean_reroute_latency_s,
                 max_reroute_latency_s=outcome.max_reroute_latency_s,
                 pre_p50=pre,
@@ -152,6 +157,7 @@ def recovery_report(impacts: Sequence[EventImpact]) -> str:
     headers = [
         "event",
         "t (s)",
+        "links",
         "disrupted",
         "rerouted",
         "restored",
@@ -165,6 +171,7 @@ def recovery_report(impacts: Sequence[EventImpact]) -> str:
             [
                 impact.kind,
                 f"{impact.applied_s:.3f}",
+                impact.links_affected,
                 impact.flows_disrupted,
                 impact.flows_rerouted,
                 impact.flows_restored,

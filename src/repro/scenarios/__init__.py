@@ -17,8 +17,11 @@ from .events import (
     LinkDown,
     LinkEvent,
     LinkUp,
+    MaintenanceCalendar,
+    RegionalPowerEvent,
     Scenario,
     ScenarioEvent,
+    SRLGFailure,
     TrafficDrain,
     TrafficSurge,
 )
@@ -31,8 +34,11 @@ from .injector import (
 from .library import (
     SCENARIO_BUILDERS,
     cascading_failure,
+    conduit_cut,
     diurnal_surge,
     get_scenario,
+    maintenance_calendar,
+    regional_power_outage,
     rolling_maintenance,
     scenario_names,
     single_link_cut,
@@ -48,6 +54,9 @@ __all__ = [
     "TrafficSurge",
     "TrafficDrain",
     "DCMaintenance",
+    "SRLGFailure",
+    "RegionalPowerEvent",
+    "MaintenanceCalendar",
     "ScenarioInjector",
     "ScenarioMetrics",
     "EventOutcome",
@@ -59,4 +68,7 @@ __all__ = [
     "cascading_failure",
     "diurnal_surge",
     "rolling_maintenance",
+    "conduit_cut",
+    "regional_power_outage",
+    "maintenance_calendar",
 ]

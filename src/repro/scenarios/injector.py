@@ -27,8 +27,10 @@ from typing import Dict, List, Optional, Tuple
 
 from .events import (
     DCMaintenance,
+    RegionalPowerEvent,
     Scenario,
     ScenarioEvent,
+    SRLGFailure,
     TrafficDrain,
     TrafficSurge,
 )
@@ -43,7 +45,9 @@ _SURGE_ID_STRIDE = 100_000
 
 #: event kinds whose *application* can take paths down; disruptions found
 #: outside an apply (periodic sweeps) are attributed to the most recent one
-DISRUPTIVE_KINDS = frozenset({"link-down", "dc-maintenance"})
+DISRUPTIVE_KINDS = frozenset(
+    {"link-down", "dc-maintenance", "srlg-failure", "regional-power"}
+)
 
 
 @dataclass
@@ -51,7 +55,8 @@ class EventOutcome:
     """Recovery metrics of one scenario event.
 
     Attributes:
-        index: position in the time-sorted timeline.
+        index: position in the compiled (recurring events expanded,
+            time-sorted) timeline.
         kind: event kind string (``"link-down"``, ...).
         description: the event's one-line summary.
         scheduled_s: when the event was supposed to fire.
@@ -68,6 +73,8 @@ class EventOutcome:
         flows_injected: demands added by a traffic surge (scheduled at
             install time; they only arrive if the run reaches them).
         flows_cancelled: pending demands removed by a traffic drain.
+        links_affected: directed runtime links this event failed or
+            degraded when it fired (0 for traffic events and recoveries).
         reroute_latencies_s: per-flow delay between disruption and being
             re-hashed onto a healthy alternative path (the fast-failover
             latency).
@@ -88,6 +95,7 @@ class EventOutcome:
     flows_failed: int = 0
     flows_injected: int = 0
     flows_cancelled: int = 0
+    links_affected: int = 0
     reroute_latencies_s: List[float] = field(default_factory=list)
     restore_latencies_s: List[float] = field(default_factory=list)
 
@@ -177,7 +185,7 @@ class ScenarioInjector:
         scenario.validate(sim.network.topology)
         self.scenario = scenario
         self.sim = sim
-        self._events = scenario.sorted_events()
+        self._events = scenario.compiled_events()
         self.metrics = ScenarioMetrics(
             scenario_name=scenario.name,
             outcomes=[
@@ -211,8 +219,10 @@ class ScenarioInjector:
         times = set()
         for event in self._events:
             times.add(event.time_s)
-            if isinstance(event, DCMaintenance):
+            if isinstance(event, (DCMaintenance, RegionalPowerEvent)):
                 times.add(event.end_s)
+            elif isinstance(event, SRLGFailure):
+                times.update(event.recovery_times())
         return frozenset(times)
 
     # ------------------------------------------------------------------ #
@@ -236,11 +246,19 @@ class ScenarioInjector:
                 event.time_s,
                 lambda e=event, o=outcome: self._fire(e, o),
             )
-            if isinstance(event, DCMaintenance):
+            if isinstance(event, (DCMaintenance, RegionalPowerEvent)):
                 self.sim.engine.schedule(
                     event.end_s,
                     lambda e=event, o=outcome: self._fire_revert(e, o),
                 )
+            elif isinstance(event, SRLGFailure):
+                for link_index, repair_s in enumerate(event.recovery_times()):
+                    self.sim.engine.schedule(
+                        repair_s,
+                        lambda e=event, o=outcome, i=link_index: self._fire_revert_link(
+                            e, o, i
+                        ),
+                    )
 
     def _surge_demands(self, event: TrafficSurge, index: int):
         """Pre-generate one surge's demands (deterministic, ids offset)."""
@@ -281,13 +299,30 @@ class ScenarioInjector:
         if isinstance(event, TrafficDrain):
             outcome.flows_cancelled = self.sim.cancel_pending(event.matches)
             return
+        affected = getattr(event, "affected_link_keys", None)
+        if affected is not None:
+            outcome.links_affected = len(affected(self.sim.network))
         event.apply(self.sim.network, now)
         self._after_state_change(outcome, now, disruptive=event.kind in DISRUPTIVE_KINDS)
 
-    def _fire_revert(self, event: DCMaintenance, outcome: EventOutcome) -> None:
+    def _fire_revert(self, event: ScenarioEvent, outcome: EventOutcome) -> None:
+        """End a windowed event (DC maintenance, regional power)."""
         now = self.sim.engine.now
         outcome.reverted_s = now
         event.revert(self.sim.network, now)
+        self._after_state_change(outcome, now, disruptive=False)
+
+    def _fire_revert_link(
+        self, event: SRLGFailure, outcome: EventOutcome, link_index: int
+    ) -> None:
+        """Repair one link of an SRLG (staggered recovery).
+
+        ``reverted_s`` is overwritten on each repair, so after the last one
+        it records when the whole group finished recovering.
+        """
+        now = self.sim.engine.now
+        outcome.reverted_s = now
+        event.revert_link(self.sim.network, link_index, now)
         self._after_state_change(outcome, now, disruptive=False)
 
     def _after_state_change(

@@ -16,6 +16,15 @@ Builders:
   (the inter-DC diurnal pattern).
 * :func:`rolling_maintenance` — DCs are drained one after another, each for
   a fixed window (a software-rollout wave).
+* :func:`conduit_cut` — a shared-risk link group (one physical conduit
+  carrying several logical links) is cut atomically and repaired link by
+  link (:class:`~repro.scenarios.events.SRLGFailure`).
+* :func:`regional_power_outage` — every DC in one region loses utility
+  power; facilities with sufficient power redundancy ride through at
+  degraded capacity (:class:`~repro.scenarios.events.RegionalPowerEvent`).
+* :func:`maintenance_calendar` — a recurring per-DC maintenance schedule
+  compiled to a flat window timeline
+  (:class:`~repro.scenarios.events.MaintenanceCalendar`).
 
 Name a canned scenario from an experiment spec (the common way)::
 
@@ -52,8 +61,11 @@ from .events import (
     DCMaintenance,
     LinkDown,
     LinkUp,
+    MaintenanceCalendar,
+    RegionalPowerEvent,
     Scenario,
     ScenarioEvent,
+    SRLGFailure,
     TrafficSurge,
 )
 
@@ -62,6 +74,9 @@ __all__ = [
     "cascading_failure",
     "diurnal_surge",
     "rolling_maintenance",
+    "conduit_cut",
+    "regional_power_outage",
+    "maintenance_calendar",
     "SCENARIO_BUILDERS",
     "scenario_names",
     "get_scenario",
@@ -206,12 +221,121 @@ def rolling_maintenance(
     )
 
 
+def conduit_cut(
+    name: str = "west-conduit",
+    links: Sequence[Tuple[str, str]] = (("DC1", "DC7"), ("DC1", "DC5"), ("DC1", "DC3")),
+    cut_at_s: float = 0.5,
+    repair_at_s: float = 1.5,
+    stagger_s: float = 0.25,
+    stranded_timeout_s: Optional[float] = 0.5,
+) -> Scenario:
+    """One conduit cut takes several links down atomically.
+
+    The default cuts the three low-delay candidates out of DC1 in one
+    stroke — the correlated version of :func:`cascading_failure`: instead
+    of losing candidates one by one, the fleet loses them all at the same
+    instant and watches them splice back one at a time (``stagger_s``
+    apart from ``repair_at_s``).
+    """
+    if not links:
+        raise ValueError("conduit_cut needs at least one link")
+    if repair_at_s <= cut_at_s:
+        raise ValueError("repair_at_s must come after cut_at_s")
+    return Scenario(
+        name="conduit-cut",
+        events=(
+            SRLGFailure(
+                cut_at_s,
+                name=name,
+                links=tuple(links),
+                recover_at_s=repair_at_s,
+                stagger_s=stagger_s,
+            ),
+        ),
+        stranded_timeout_s=stranded_timeout_s,
+        description=(
+            f"conduit {name!r} ({len(links)} links) cut at {cut_at_s:g}s, "
+            f"spliced from {repair_at_s:g}s every {stagger_s:g}s"
+        ),
+    )
+
+
+def regional_power_outage(
+    region: str = "west",
+    start_at_s: float = 0.5,
+    duration_s: float = 1.0,
+    survives_redundancy: str = "2N",
+    degraded_factor: float = 0.5,
+    stranded_timeout_s: Optional[float] = 0.5,
+) -> Scenario:
+    """A regional utility-power event with per-DC redundancy downgrade.
+
+    Every DC in ``region`` is hit; facilities provisioned at or above
+    ``survives_redundancy`` (on the testbed: the 2N endpoints DC1/DC8)
+    ride through on their spare feed at ``degraded_factor`` x capacity,
+    while the rest black out entirely for the window.
+    """
+    return Scenario(
+        name="regional-power-outage",
+        events=(
+            RegionalPowerEvent(
+                start_at_s,
+                region=region,
+                duration_s=duration_s,
+                survives_redundancy=survives_redundancy,
+                degraded_factor=degraded_factor,
+            ),
+        ),
+        stranded_timeout_s=stranded_timeout_s,
+        description=(
+            f"power event in {region!r} at {start_at_s:g}s for {duration_s:g}s "
+            f"(>= {survives_redundancy} degrades to x{degraded_factor:g})"
+        ),
+    )
+
+
+def maintenance_calendar(
+    dc: str = "DC5",
+    first_at_s: float = 0.5,
+    window_s: float = 0.3,
+    period_s: float = 1.0,
+    occurrences: int = 3,
+    stranded_timeout_s: Optional[float] = 0.5,
+) -> Scenario:
+    """A recurring maintenance calendar for one DC.
+
+    Compiles to ``occurrences`` concrete maintenance windows (one every
+    ``period_s``), modelling the weekly-patch-window pattern rather than a
+    one-off drain; recovery metrics are reported per window.
+    """
+    return Scenario(
+        name="maintenance-calendar",
+        events=(
+            MaintenanceCalendar(
+                first_at_s,
+                dc=dc,
+                window_s=window_s,
+                period_s=period_s,
+                occurrences=occurrences,
+            ),
+        ),
+        stranded_timeout_s=stranded_timeout_s,
+        description=(
+            f"{occurrences} maintenance windows of {window_s:g}s on {dc}, "
+            f"every {period_s:g}s from {first_at_s:g}s"
+        ),
+    )
+
+
 #: registry of canned scenario builders, keyed by the spec-facing name
 SCENARIO_BUILDERS: Dict[str, Callable[..., Scenario]] = {
     "single-link-cut": single_link_cut,
     "cascading-failure": cascading_failure,
     "diurnal-surge": diurnal_surge,
     "rolling-maintenance": rolling_maintenance,
+    "conduit-cut": conduit_cut,
+    "regional-power-outage": regional_power_outage,
+    "maintenance-calendar": maintenance_calendar,
 }
 
 

@@ -1,0 +1,159 @@
+"""JSON (de)serialization for scenarios and fuzz corpus fixtures.
+
+Two layers:
+
+* :func:`event_to_dict` / :func:`event_from_dict` and
+  :func:`scenario_to_dict` / :func:`scenario_from_dict` — a stable,
+  kind-keyed JSON form for declarative timelines.  Events are frozen
+  dataclasses of plain scalars and string tuples, so the mapping is
+  mechanical; tuple fields round-trip through JSON lists.
+* :func:`fuzz_case_to_dict` / :func:`fuzz_case_from_dict` — the corpus
+  fixture schema used by ``tests/scenarios/fuzz/corpus``: a fuzz case
+  (topology name, demand matrix, timeline, congestion control fleet,
+  seed) captured from a hypothesis falsifying example and replayed as a
+  plain parametrized regression test, no hypothesis required.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple, Type
+
+from ..simulator.flow import FlowDemand
+from .events import (
+    CapacityChange,
+    DCMaintenance,
+    LinkDown,
+    LinkUp,
+    MaintenanceCalendar,
+    RegionalPowerEvent,
+    Scenario,
+    ScenarioEvent,
+    SRLGFailure,
+    TrafficDrain,
+    TrafficSurge,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "event_to_dict",
+    "event_from_dict",
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "fuzz_case_to_dict",
+    "fuzz_case_from_dict",
+]
+
+#: kind string -> event class, for deserialization
+EVENT_TYPES: Dict[str, Type[ScenarioEvent]] = {
+    cls.kind: cls
+    for cls in (
+        LinkDown,
+        LinkUp,
+        CapacityChange,
+        TrafficSurge,
+        TrafficDrain,
+        DCMaintenance,
+        SRLGFailure,
+        RegionalPowerEvent,
+        MaintenanceCalendar,
+    )
+}
+
+#: event fields holding tuples of (str, str) pairs (JSON lists of lists)
+_PAIR_TUPLE_FIELDS = ("links", "pairs")
+
+
+def event_to_dict(event: ScenarioEvent) -> dict:
+    """One event as a JSON-compatible dict, tagged with its kind."""
+    payload = dataclasses.asdict(event)
+    payload["kind"] = event.kind
+    return payload
+
+
+def event_from_dict(payload: dict) -> ScenarioEvent:
+    """Rebuild an event from :func:`event_to_dict` output.
+
+    Raises:
+        KeyError: on an unknown event kind.
+    """
+    data = dict(payload)
+    kind = data.pop("kind")
+    try:
+        cls = EVENT_TYPES[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown event kind {kind!r}; known: {sorted(EVENT_TYPES)}"
+        ) from None
+    for field in _PAIR_TUPLE_FIELDS:
+        if field in data and data[field] is not None:
+            data[field] = tuple(tuple(pair) for pair in data[field])
+    return cls(**data)
+
+
+def scenario_to_dict(scenario: Scenario) -> dict:
+    """A scenario (name, timeline, stranded timeout) as a JSON dict."""
+    return {
+        "name": scenario.name,
+        "description": scenario.description,
+        "stranded_timeout_s": scenario.stranded_timeout_s,
+        "events": [event_to_dict(e) for e in scenario.events],
+    }
+
+
+def scenario_from_dict(payload: dict) -> Scenario:
+    """Rebuild a scenario from :func:`scenario_to_dict` output."""
+    return Scenario(
+        name=payload["name"],
+        events=tuple(event_from_dict(e) for e in payload["events"]),
+        stranded_timeout_s=payload.get("stranded_timeout_s"),
+        description=payload.get("description", ""),
+    )
+
+
+def fuzz_case_to_dict(case) -> dict:
+    """A fuzz case as a corpus fixture dict (see module docstring)."""
+    return {
+        "topology": case.topology_name,
+        "cc": list(list(entry) for entry in case.cc)
+        if isinstance(case.cc, tuple)
+        else case.cc,
+        "seed": case.seed,
+        "scenario": scenario_to_dict(case.scenario),
+        "demands": [
+            [d.flow_id, d.src_dc, d.dst_dc, d.src_host, d.dst_host, d.size_bytes, d.arrival_s]
+            for d in case.demands
+        ],
+    }
+
+
+def fuzz_case_from_dict(payload: dict):
+    """Rebuild a :class:`~repro.scenarios.fuzz.FuzzCase` from a fixture.
+
+    Imported lazily so this module stays usable without the optional
+    ``hypothesis`` dependency that :mod:`repro.scenarios.fuzz` requires.
+    """
+    from .fuzz import FuzzCase
+
+    cc = payload["cc"]
+    if isinstance(cc, list):
+        cc = tuple((name, float(share)) for name, share in cc)
+    demands: Tuple[FlowDemand, ...] = tuple(
+        FlowDemand(
+            flow_id=int(row[0]),
+            src_dc=row[1],
+            dst_dc=row[2],
+            src_host=int(row[3]),
+            dst_host=int(row[4]),
+            size_bytes=int(row[5]),
+            arrival_s=float(row[6]),
+        )
+        for row in payload["demands"]
+    )
+    return FuzzCase(
+        topology_name=payload["topology"],
+        scenario=scenario_from_dict(payload["scenario"]),
+        demands=demands,
+        cc=cc,
+        seed=int(payload["seed"]),
+    )

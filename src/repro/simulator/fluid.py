@@ -368,6 +368,9 @@ class FluidSimulation:
         self._tie_guard: frozenset = frozenset()
         self._injected_last_arrival_s = 0.0
         self._failed: List[FlowFailure] = []
+        #: read-only callbacks invoked after every completed update step
+        #: (see :meth:`add_step_observer`); empty in normal runs
+        self._step_observers: List[Callable[["FluidSimulation", float], None]] = []
 
         self.injector = None
         if scenario is not None:
@@ -704,6 +707,20 @@ class FluidSimulation:
         with self._sp_gc:
             self.network.tick_all(self.engine.now)
 
+    def add_step_observer(
+        self, observer: Callable[["FluidSimulation", float], None]
+    ) -> None:
+        """Register a read-only callback run after every update step.
+
+        Observers receive ``(sim, now)`` once the step's rate/queue update
+        has fully completed, with link liveness and per-flow state settled
+        for the instant — the hook invariant checkers (e.g. the dead-link
+        monitor of :mod:`repro.scenarios.invariants`) attach to.  Observers
+        must not mutate simulation state; with none registered the hook is
+        a single empty-list check, so normal runs are unaffected.
+        """
+        self._step_observers.append(observer)
+
     def _update_step(self) -> None:
         with self._sp_update:
             if self._incidence is None:
@@ -712,6 +729,10 @@ class FluidSimulation:
                 self._update_step_vectorized()
             else:
                 self._update_step_vectorized_legacy()
+        if self._step_observers:
+            now = self.engine.now
+            for observer in self._step_observers:
+                observer(self, now)
 
     def _maybe_stop(self) -> None:
         if not self._active and self._pending_arrivals == 0 and not self._stopped:

@@ -10,10 +10,24 @@ Public entry points:
 * :class:`~repro.topology.paths.PathSet` — candidate paths per DC pair.
 """
 
-from .graph import GBPS, MBPS, MS, US, HostGroup, LinkSpec, Node, NodeKind, Topology, TopologyError
+from .graph import (
+    GBPS,
+    MBPS,
+    MS,
+    POWER_REDUNDANCY_LEVELS,
+    US,
+    DCAttrs,
+    HostGroup,
+    LinkSpec,
+    Node,
+    NodeKind,
+    Topology,
+    TopologyError,
+    power_redundancy_rank,
+)
 from .leaf_spine import PodSpec, build_pod
 from .paths import CandidatePath, PathSet, enumerate_paths, shortest_delay_path
-from .testbed8 import RELAY_PLAN, build_testbed8, testbed8_pathset
+from .testbed8 import DC_ATTR_PLAN, RELAY_PLAN, build_testbed8, testbed8_pathset
 from .bso13 import BSO_EDGES, build_bso13, bso13_pathset
 
 __all__ = [
@@ -27,6 +41,10 @@ __all__ = [
     "NodeKind",
     "LinkSpec",
     "HostGroup",
+    "DCAttrs",
+    "POWER_REDUNDANCY_LEVELS",
+    "power_redundancy_rank",
+    "DC_ATTR_PLAN",
     "PodSpec",
     "build_pod",
     "CandidatePath",

@@ -32,6 +32,9 @@ __all__ = [
     "Node",
     "LinkSpec",
     "HostGroup",
+    "DCAttrs",
+    "POWER_REDUNDANCY_LEVELS",
+    "power_redundancy_rank",
     "Topology",
     "TopologyError",
 ]
@@ -48,6 +51,50 @@ US = 1e-6
 
 class TopologyError(ValueError):
     """Raised when a topology is malformed (unknown node, duplicate link...)."""
+
+
+#: datacenter power-redundancy levels, weakest first: ``"N"`` (no spare
+#: feed), ``"N+1"`` (one spare), ``"2N"`` (fully duplicated plant)
+POWER_REDUNDANCY_LEVELS: Tuple[str, ...] = ("N", "N+1", "2N")
+
+
+def power_redundancy_rank(level: str) -> int:
+    """Ordinal of a power-redundancy level (higher survives more).
+
+    Raises:
+        TopologyError: for a level outside :data:`POWER_REDUNDANCY_LEVELS`.
+    """
+    try:
+        return POWER_REDUNDANCY_LEVELS.index(level)
+    except ValueError:
+        raise TopologyError(
+            f"unknown power redundancy {level!r}; known: {POWER_REDUNDANCY_LEVELS}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class DCAttrs:
+    """Operational attributes of one datacenter.
+
+    These model the ontology real outage events correlate on: a regional
+    power event hits every DC in a ``region``, a tier-scoped maintenance
+    wave targets a ``tier``, and ``power_redundancy`` decides whether a
+    power event blacks the DC out or merely degrades it (a 2N facility
+    rides through on its duplicated feed).
+
+    Attributes:
+        region: geographic region label (``None`` when unassigned).
+        tier: facility tier label, e.g. ``"tier3"`` (``None`` when
+            unassigned).
+        power_redundancy: one of :data:`POWER_REDUNDANCY_LEVELS`.
+    """
+
+    region: Optional[str] = None
+    tier: Optional[str] = None
+    power_redundancy: str = "N"
+
+    def __post_init__(self) -> None:
+        power_redundancy_rank(self.power_redundancy)
 
 
 class NodeKind:
@@ -157,6 +204,7 @@ class Topology:
         self._nodes: Dict[str, Node] = {}
         self._links: Dict[Tuple[str, str], LinkSpec] = {}
         self._host_groups: Dict[str, HostGroup] = {}
+        self._dc_attrs: Dict[str, DCAttrs] = {}
 
     # ------------------------------------------------------------------ #
     # construction
@@ -173,9 +221,58 @@ class Topology:
         self._nodes[name] = node
         return node
 
-    def add_dc(self, name: str) -> Node:
-        """Add a datacenter, represented by its DCI switch node."""
-        return self.add_node(name, NodeKind.DCI, dc=name)
+    def add_dc(
+        self,
+        name: str,
+        region: Optional[str] = None,
+        tier: Optional[str] = None,
+        power_redundancy: str = "N",
+    ) -> Node:
+        """Add a datacenter, represented by its DCI switch node.
+
+        Args:
+            name: datacenter name, e.g. ``"DC3"``.
+            region: optional geographic region label (correlated power
+                events match on it).
+            tier: optional facility tier label.
+            power_redundancy: one of :data:`POWER_REDUNDANCY_LEVELS`;
+                defaults to ``"N"`` (no spare feed).
+        """
+        node = self.add_node(name, NodeKind.DCI, dc=name)
+        self._dc_attrs[name] = DCAttrs(
+            region=region, tier=tier, power_redundancy=power_redundancy
+        )
+        return node
+
+    def dc_attrs(self, name: str) -> DCAttrs:
+        """Operational attributes of datacenter ``name``.
+
+        Raises:
+            TopologyError: when ``name`` is not a known datacenter.
+        """
+        try:
+            return self._dc_attrs[name]
+        except KeyError:
+            raise TopologyError(f"unknown datacenter {name!r}") from None
+
+    def dcs_matching(
+        self, region: Optional[str] = None, tier: Optional[str] = None
+    ) -> List[str]:
+        """Datacenters matching a region/tier filter, in insertion order.
+
+        ``None`` matches any value for that field; with both ``None`` every
+        datacenter matches (the filterless regional event is a full-fleet
+        power event).
+        """
+        selected = []
+        for dc in self.dcs:
+            attrs = self._dc_attrs.get(dc, DCAttrs())
+            if region is not None and attrs.region != region:
+                continue
+            if tier is not None and attrs.tier != tier:
+                continue
+            selected.append(dc)
+        return selected
 
     def add_hosts(
         self,

@@ -39,7 +39,7 @@ from .graph import GBPS, MS, Topology
 from .leaf_spine import build_pod
 from .paths import PathSet
 
-__all__ = ["RELAY_PLAN", "build_testbed8", "testbed8_pathset"]
+__all__ = ["RELAY_PLAN", "DC_ATTR_PLAN", "build_testbed8", "testbed8_pathset"]
 
 #: relay DC -> (capacity bps, per-link one-way delay seconds)
 RELAY_PLAN: Dict[str, Tuple[float, float]] = {
@@ -49,6 +49,23 @@ RELAY_PLAN: Dict[str, Tuple[float, float]] = {
     "DC5": (100 * GBPS, 10 * MS),
     "DC6": (40 * GBPS, 50 * MS),
     "DC7": (40 * GBPS, 5 * MS),
+}
+
+#: DC -> (region, tier, power redundancy).  The paper does not assign
+#: facility metadata, so we use a plausible west-to-east layout: the two
+#: traffic endpoints are tier-4 facilities with duplicated power plants
+#: (2N), relays are tier-3 with mixed redundancy.  Correlated-failure
+#: scenarios (regional power events, tier-scoped maintenance waves)
+#: filter on these attributes.
+DC_ATTR_PLAN: Dict[str, Tuple[str, str, str]] = {
+    "DC1": ("west", "tier4", "2N"),
+    "DC2": ("west", "tier3", "N+1"),
+    "DC3": ("west", "tier3", "N+1"),
+    "DC4": ("central", "tier3", "N"),
+    "DC5": ("central", "tier3", "N+1"),
+    "DC6": ("east", "tier3", "N"),
+    "DC7": ("east", "tier3", "N"),
+    "DC8": ("east", "tier4", "2N"),
 }
 
 #: deep buffer on long-haul links (the paper provisions multi-GB buffers to
@@ -88,7 +105,9 @@ def build_testbed8(
         raise ValueError("capacity_scale must be positive")
     topo = Topology("testbed-8dc")
     for i in range(1, 9):
-        topo.add_dc(f"DC{i}")
+        name = f"DC{i}"
+        region, tier, redundancy = DC_ATTR_PLAN[name]
+        topo.add_dc(name, region=region, tier=tier, power_redundancy=redundancy)
 
     buffer_bytes = max(1, int(inter_dc_buffer_bytes * capacity_scale))
     for relay, (cap_bps, delay_s) in RELAY_PLAN.items():

@@ -35,7 +35,7 @@ def synthetic_result():
             EventOutcome(
                 index=0, kind="link-down", description="cut", scheduled_s=1.0,
                 applied_s=1.0, flows_disrupted=4, flows_rerouted=4,
-                reroute_latencies_s=[0.001, 0.003],
+                links_affected=2, reroute_latencies_s=[0.001, 0.003],
             ),
             EventOutcome(
                 index=1, kind="link-up", description="repair", scheduled_s=2.0,
@@ -125,3 +125,15 @@ class TestRecoveryReport:
 
     def test_empty_impacts(self):
         assert "no events" in recovery_report([])
+
+
+class TestBlastRadius:
+    def test_links_affected_carried_through(self):
+        cut, repair = event_impacts(synthetic_result(), window_s=1.0)
+        assert cut.links_affected == 2
+        assert repair.links_affected == 0
+
+    def test_report_has_links_column(self):
+        impacts = event_impacts(synthetic_result(), window_s=1.0)
+        header = recovery_report(impacts).splitlines()[0]
+        assert "links" in header

@@ -1,0 +1,32 @@
+"""Hypothesis profiles for the scenario fuzzer.
+
+Two profiles, selected with the ``HYPOTHESIS_PROFILE`` environment
+variable (default ``fast``):
+
+* ``fast`` — ~25 examples per property; runs in the PR test job.
+* ``fuzz`` — 500 examples per property; the nightly fuzz job in
+  ``bench.yml`` runs it with a fresh ``--hypothesis-seed`` and uploads
+  the failing-example database on failure.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "fast",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.register_profile(
+    "fuzz",
+    max_examples=500,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "fast"))

@@ -1,0 +1,36 @@
+"""Replay the frozen fuzz corpus as plain regression tests.
+
+Every JSON fixture under ``corpus/`` is a full fuzz case (topology,
+demands, timeline, congestion control, seed) captured either by hand for
+a known-interesting shape or from a past hypothesis falsifying example.
+Replaying them through the same cross-core invariant harness — without
+hypothesis — keeps historical counterexamples permanently in the tier-1
+suite, independent of the example database.
+
+To add a fixture, build a :class:`~repro.scenarios.fuzz.FuzzCase` and
+dump it with :func:`~repro.scenarios.serialize.fuzz_case_to_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.serialize import fuzz_case_from_dict
+
+from .harness import check_all_invariants
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS_FILES, f"no corpus fixtures under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
+def test_corpus_case_holds_all_invariants(path):
+    case = fuzz_case_from_dict(json.loads(path.read_text()))
+    check_all_invariants(case)

@@ -7,7 +7,10 @@ from repro.scenarios import (
     DCMaintenance,
     LinkDown,
     LinkUp,
+    MaintenanceCalendar,
+    RegionalPowerEvent,
     Scenario,
+    SRLGFailure,
     TrafficDrain,
     TrafficSurge,
 )
@@ -149,3 +152,150 @@ class TestScenario:
         )
         text = scenario.describe()
         assert "cut" in text and "link-down" in text and "link-up" in text
+
+
+class TestSRLGFailure:
+    def test_valid_group(self, tiny_topology):
+        SRLGFailure(
+            0.5, name="conduit", links=(("A", "B"), ("A", "C")), recover_at_s=1.0
+        ).validate(tiny_topology)
+
+    def test_needs_name_and_links(self, tiny_topology):
+        with pytest.raises(ValueError, match="group name"):
+            SRLGFailure(0.5, links=(("A", "B"),)).validate(tiny_topology)
+        with pytest.raises(ValueError, match="at least one link"):
+            SRLGFailure(0.5, name="conduit").validate(tiny_topology)
+
+    def test_duplicate_link_rejected(self, tiny_topology):
+        with pytest.raises(ValueError, match="duplicate"):
+            SRLGFailure(
+                0.5, name="conduit", links=(("A", "B"), ("A", "B"))
+            ).validate(tiny_topology)
+
+    def test_repair_must_follow_cut(self, tiny_topology):
+        with pytest.raises(ValueError, match="recover_at_s"):
+            SRLGFailure(
+                0.5, name="conduit", links=(("A", "B"),), recover_at_s=0.5
+            ).validate(tiny_topology)
+
+    def test_recovery_times_staggered(self):
+        event = SRLGFailure(
+            0.5,
+            name="conduit",
+            links=(("A", "B"), ("A", "C"), ("C", "B")),
+            recover_at_s=1.0,
+            stagger_s=0.25,
+        )
+        assert event.recovery_times() == (1.0, 1.25, 1.5)
+
+    def test_no_repair_means_no_recovery_times(self):
+        event = SRLGFailure(0.5, name="conduit", links=(("A", "B"),))
+        assert event.recovery_times() == ()
+
+    def test_affected_keys_cover_both_directions(self):
+        event = SRLGFailure(0.5, name="conduit", links=(("A", "B"),))
+        assert event.affected_link_keys(None) == (("A", "B"), ("B", "A"))
+
+
+class TestRegionalPowerEvent:
+    def test_valid_region_filter(self, testbed_topology):
+        RegionalPowerEvent(0.5, region="west", duration_s=1.0).validate(
+            testbed_topology
+        )
+
+    def test_needs_some_filter(self, testbed_topology):
+        with pytest.raises(ValueError, match="filter"):
+            RegionalPowerEvent(0.5, duration_s=1.0).validate(testbed_topology)
+
+    def test_filter_must_match_a_dc(self, testbed_topology):
+        with pytest.raises(ValueError, match="no DC matches"):
+            RegionalPowerEvent(0.5, region="atlantis", duration_s=1.0).validate(
+                testbed_topology
+            )
+
+    def test_unknown_redundancy_level_rejected(self, testbed_topology):
+        with pytest.raises(ValueError):
+            RegionalPowerEvent(
+                0.5, region="west", duration_s=1.0, survives_redundancy="3N"
+            ).validate(testbed_topology)
+
+    def test_classification_honours_redundancy(self, testbed_topology):
+        event = RegionalPowerEvent(
+            0.5, region="west", duration_s=1.0, survives_redundancy="2N"
+        )
+        blackout, degraded = event.classify_dcs(testbed_topology)
+        assert "DC1" in degraded  # 2N endpoint rides through
+        assert set(blackout) == {"DC2", "DC3"}  # N+1 relays black out
+
+    def test_everything_survives_at_lowest_threshold(self, testbed_topology):
+        event = RegionalPowerEvent(
+            0.5, region="west", duration_s=1.0, survives_redundancy="N"
+        )
+        blackout, degraded = event.classify_dcs(testbed_topology)
+        assert blackout == ()
+        assert set(degraded) == {"DC1", "DC2", "DC3"}
+
+    def test_window_end(self):
+        event = RegionalPowerEvent(0.5, region="west", duration_s=0.25)
+        assert event.end_s == pytest.approx(0.75)
+
+
+class TestMaintenanceCalendar:
+    def test_compiles_into_windows(self, tiny_topology):
+        calendar = MaintenanceCalendar(
+            0.5, dc="B", window_s=0.2, period_s=1.0, occurrences=3
+        )
+        calendar.validate(tiny_topology)
+        windows = calendar.compile()
+        assert all(isinstance(w, DCMaintenance) for w in windows)
+        assert [w.time_s for w in windows] == [
+            pytest.approx(0.5),
+            pytest.approx(1.5),
+            pytest.approx(2.5),
+        ]
+        assert all(w.duration_s == pytest.approx(0.2) for w in windows)
+
+    def test_period_must_cover_window(self, tiny_topology):
+        with pytest.raises(ValueError, match="period"):
+            MaintenanceCalendar(
+                0.5, dc="B", window_s=0.5, period_s=0.2, occurrences=2
+            ).validate(tiny_topology)
+
+    def test_needs_positive_occurrences(self, tiny_topology):
+        with pytest.raises(ValueError, match="occurrence"):
+            MaintenanceCalendar(
+                0.5, dc="B", window_s=0.2, period_s=0.5, occurrences=0
+            ).validate(tiny_topology)
+
+    def test_back_to_back_windows_allowed(self, tiny_topology):
+        calendar = MaintenanceCalendar(
+            0.5, dc="B", window_s=0.2, period_s=0.2, occurrences=2
+        )
+        calendar.validate(tiny_topology)
+        first, second = calendar.compile()
+        assert second.time_s == pytest.approx(first.end_s)
+
+
+class TestCompiledEvents:
+    def test_identity_without_recurring_events(self, tiny_topology):
+        scenario = Scenario(
+            name="plain",
+            events=(LinkDown(0.5, "A", "B"), LinkUp(1.0, "A", "B")),
+        )
+        assert scenario.compiled_events() == scenario.sorted_events()
+
+    def test_calendar_expands_and_sorts(self, tiny_topology):
+        scenario = Scenario(
+            name="mixed",
+            events=(
+                LinkDown(1.2, "A", "B"),
+                MaintenanceCalendar(0.5, dc="B", window_s=0.2, period_s=1.0, occurrences=2),
+            ),
+        )
+        compiled = scenario.compiled_events()
+        assert [type(e).__name__ for e in compiled] == [
+            "DCMaintenance",
+            "LinkDown",
+            "DCMaintenance",
+        ]
+        assert [e.time_s for e in compiled] == sorted(e.time_s for e in compiled)

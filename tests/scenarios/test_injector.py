@@ -10,11 +10,15 @@ from repro.scenarios import (
     DCMaintenance,
     LinkDown,
     LinkUp,
+    MaintenanceCalendar,
+    RegionalPowerEvent,
     Scenario,
+    SRLGFailure,
     TrafficDrain,
     TrafficSurge,
 )
 from repro.simulator import FlowDemand, FluidSimulation, RuntimeNetwork
+from repro.topology import GBPS, MS, PathSet, Topology
 
 
 def make_sim(topology, pathset, config, demands, scenario=None, router="ecmp", cc="fixed"):
@@ -319,3 +323,110 @@ class TestNoEventPath:
             make_sim(
                 tiny_topology, tiny_pathset, quick_sim_config, steady_demands(), scenario
             )
+
+
+def attributed_triangle():
+    """The tiny triangle with facility metadata for correlated events.
+
+    A is a 2N west endpoint, B a bare-feed west relay, C an N+1 east DC —
+    so a west power event blacks out B while A rides through degraded.
+    """
+    topo = Topology("attr-triangle")
+    topo.add_dc("A", region="west", tier="tier4", power_redundancy="2N")
+    topo.add_dc("B", region="west", tier="tier3", power_redundancy="N")
+    topo.add_dc("C", region="east", tier="tier3", power_redundancy="N+1")
+    topo.add_inter_dc_link("A", "B", cap_bps=100 * GBPS, delay_s=5 * MS)
+    topo.add_inter_dc_link("A", "C", cap_bps=40 * GBPS, delay_s=1 * MS)
+    topo.add_inter_dc_link("C", "B", cap_bps=40 * GBPS, delay_s=1 * MS)
+    for name in ("A", "B", "C"):
+        topo.add_hosts(name, count=4, nic_bps=100 * GBPS)
+    topo.validate()
+    return topo, PathSet(topo, max_candidates=4, max_extra_hops=1)
+
+
+class TestCorrelatedEvents:
+    def test_srlg_fails_group_atomically_and_repairs_staggered(
+        self, tiny_topology, tiny_pathset, quick_sim_config
+    ):
+        scenario = Scenario(
+            name="conduit",
+            events=(
+                SRLGFailure(
+                    0.02,
+                    name="conduit",
+                    links=(("A", "B"), ("C", "B")),
+                    recover_at_s=0.05,
+                    stagger_s=0.01,
+                ),
+            ),
+            stranded_timeout_s=0.5,
+        )
+        network, sim = make_sim(
+            tiny_topology, tiny_pathset, quick_sim_config, steady_demands(), scenario
+        )
+        result = sim.run()
+        outcome = result.scenario_metrics.outcomes[0]
+        assert outcome.applied_s == pytest.approx(0.02)
+        assert outcome.links_affected == 4  # both directions of both links
+        # last staggered repair closes the outage window
+        assert outcome.reverted_s == pytest.approx(0.06)
+        for src, dst in (("A", "B"), ("B", "A"), ("C", "B"), ("B", "C")):
+            assert network.link(src, dst).up
+        assert result.unfinished_flows == 0
+
+    def test_regional_power_blackout_honours_redundancy(self, quick_sim_config):
+        topo, paths = attributed_triangle()
+        scenario = Scenario(
+            name="west-power",
+            events=(
+                RegionalPowerEvent(
+                    0.02,
+                    region="west",
+                    duration_s=0.04,
+                    survives_redundancy="2N",
+                    degraded_factor=0.5,
+                ),
+            ),
+            stranded_timeout_s=0.5,
+        )
+        network, sim = make_sim(topo, paths, quick_sim_config, steady_demands(), scenario)
+        result = sim.run()
+        outcome = result.scenario_metrics.outcomes[0]
+        # B (bare feed) blacks out: its 4 directed ports go dark; A rides
+        # through on the spare feed with A<->C dimmed -> 6 affected links
+        assert outcome.links_affected == 6
+        assert outcome.applied_s == pytest.approx(0.02)
+        assert outcome.reverted_s == pytest.approx(0.06)
+        for link in network.inter_dc_links:
+            assert link.up
+            assert link.capacity_factor == pytest.approx(1.0)
+        assert result.unfinished_flows == 0
+
+    def test_calendar_expands_to_one_outcome_per_window(
+        self, tiny_topology, tiny_pathset, quick_sim_config
+    ):
+        scenario = Scenario(
+            name="calendar",
+            events=(
+                MaintenanceCalendar(
+                    0.01, dc="C", window_s=0.01, period_s=0.03, occurrences=2
+                ),
+            ),
+            stranded_timeout_s=0.5,
+        )
+        network, sim = make_sim(
+            tiny_topology, tiny_pathset, quick_sim_config, steady_demands(), scenario
+        )
+        result = sim.run()
+        outcomes = result.scenario_metrics.outcomes
+        assert [o.kind for o in outcomes] == ["dc-maintenance", "dc-maintenance"]
+        assert [o.applied_s for o in outcomes] == [
+            pytest.approx(0.01),
+            pytest.approx(0.04),
+        ]
+        assert [o.reverted_s for o in outcomes] == [
+            pytest.approx(0.02),
+            pytest.approx(0.05),
+        ]
+        assert all(network.link(s, d).up for s, d in (("A", "C"), ("C", "B")))
+        assert result.unfinished_flows == 0

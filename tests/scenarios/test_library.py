@@ -6,10 +6,16 @@ from repro.scenarios import (
     DCMaintenance,
     LinkDown,
     LinkUp,
+    MaintenanceCalendar,
+    RegionalPowerEvent,
+    SRLGFailure,
     TrafficSurge,
     cascading_failure,
+    conduit_cut,
     diurnal_surge,
     get_scenario,
+    maintenance_calendar,
+    regional_power_outage,
     rolling_maintenance,
     scenario_names,
     single_link_cut,
@@ -19,7 +25,15 @@ from repro.scenarios import (
 class TestRegistry:
     def test_names_cover_all_builders(self):
         assert scenario_names() == sorted(
-            ["single-link-cut", "cascading-failure", "diurnal-surge", "rolling-maintenance"]
+            [
+                "single-link-cut",
+                "cascading-failure",
+                "diurnal-surge",
+                "rolling-maintenance",
+                "conduit-cut",
+                "regional-power-outage",
+                "maintenance-calendar",
+            ]
         )
 
     def test_get_scenario_builds(self):
@@ -87,3 +101,38 @@ class TestBuilders:
     def test_rolling_maintenance_needs_dcs(self):
         with pytest.raises(ValueError, match="at least one DC"):
             rolling_maintenance(dcs=())
+
+
+class TestCorrelatedFailureBuilders:
+    def test_conduit_cut_shape(self, testbed_topology):
+        scenario = conduit_cut()
+        scenario.validate(testbed_topology)
+        (event,) = scenario.sorted_events()
+        assert isinstance(event, SRLGFailure)
+        assert len(event.links) == 3
+        repairs = event.recovery_times()
+        assert list(repairs) == sorted(repairs) and len(set(repairs)) == 3
+        assert scenario.stranded_timeout_s is not None
+
+    def test_conduit_cut_rejects_inverted_times(self):
+        with pytest.raises(ValueError, match="repair_at_s"):
+            conduit_cut(cut_at_s=1.0, repair_at_s=0.5)
+
+    def test_regional_power_outage_shape(self, testbed_topology):
+        scenario = regional_power_outage()
+        scenario.validate(testbed_topology)
+        (event,) = scenario.sorted_events()
+        assert isinstance(event, RegionalPowerEvent)
+        blackout, degraded = event.classify_dcs(testbed_topology)
+        assert blackout and degraded  # the default hits both classes
+
+    def test_maintenance_calendar_shape(self, testbed_topology):
+        scenario = maintenance_calendar(occurrences=3)
+        scenario.validate(testbed_topology)
+        (calendar,) = scenario.sorted_events()
+        assert isinstance(calendar, MaintenanceCalendar)
+        windows = scenario.compiled_events()
+        assert len(windows) == 3
+        assert all(isinstance(w, DCMaintenance) for w in windows)
+        for earlier, later in zip(windows, windows[1:]):
+            assert later.time_s >= earlier.end_s

@@ -1,0 +1,71 @@
+"""JSON roundtrips for scenario timelines and fuzz corpus fixtures."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    CapacityChange,
+    DCMaintenance,
+    LinkDown,
+    LinkUp,
+    MaintenanceCalendar,
+    RegionalPowerEvent,
+    Scenario,
+    SRLGFailure,
+    TrafficDrain,
+    TrafficSurge,
+    get_scenario,
+    scenario_names,
+)
+from repro.scenarios.serialize import (
+    EVENT_TYPES,
+    event_from_dict,
+    event_to_dict,
+    scenario_from_dict,
+    scenario_to_dict,
+)
+
+EXAMPLES = [
+    LinkDown(0.5, "A", "B"),
+    LinkUp(1.0, "A", "B", bidirectional=False),
+    CapacityChange(0.25, "A", "B", factor=0.5),
+    TrafficSurge(0.5, pairs=(("A", "B"),), load=0.4, num_flows=5, seed=9),
+    TrafficDrain(0.5, src_dc="A", fraction=0.25),
+    DCMaintenance(0.5, dc="B", duration_s=0.3),
+    SRLGFailure(0.5, name="conduit", links=(("A", "B"), ("A", "C")), recover_at_s=1.0, stagger_s=0.1),
+    RegionalPowerEvent(0.5, region="west", duration_s=0.2, degraded_factor=0.5),
+    MaintenanceCalendar(0.5, dc="B", window_s=0.2, period_s=1.0, occurrences=3),
+]
+
+
+class TestEventRoundtrip:
+    @pytest.mark.parametrize("event", EXAMPLES, ids=lambda e: e.kind)
+    def test_roundtrip_through_json(self, event):
+        payload = json.loads(json.dumps(event_to_dict(event)))
+        assert event_from_dict(payload) == event
+
+    def test_every_event_kind_is_registered(self):
+        assert sorted(EVENT_TYPES) == sorted(e.kind for e in EXAMPLES)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError, match="unknown event kind"):
+            event_from_dict({"kind": "meteor-strike", "time_s": 0.5})
+
+
+class TestScenarioRoundtrip:
+    def test_roundtrip_preserves_timeline(self):
+        scenario = Scenario(
+            name="mixed",
+            events=tuple(EXAMPLES),
+            stranded_timeout_s=0.5,
+            description="every event kind once",
+        )
+        payload = json.loads(json.dumps(scenario_to_dict(scenario)))
+        assert scenario_from_dict(payload) == scenario
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_every_canned_scenario_roundtrips(self, name):
+        scenario = get_scenario(name)
+        payload = json.loads(json.dumps(scenario_to_dict(scenario)))
+        assert scenario_from_dict(payload) == scenario

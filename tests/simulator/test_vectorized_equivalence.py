@@ -103,6 +103,26 @@ def assert_scenario_metrics_identical(scalar, vectorized):
         assert dataclasses.asdict(oa) == dataclasses.asdict(ob)
 
 
+
+#: per-scenario builder kwargs that land every event inside the default
+#: ~50 ms run of :func:`run_sim`, so the scenario equivalence cases
+#: exercise real mid-run disruptions instead of passing vacuously
+EARLY_EVENTS = {
+    "single-link-cut": dict(fail_at_s=0.01, recover_at_s=0.03),
+    "cascading-failure": dict(first_at_s=0.01, interval_s=0.005, repair_at_s=0.035),
+    "diurnal-surge": dict(first_peak_s=0.01, period_s=0.015, peaks=2, flows_per_peak=40),
+    "rolling-maintenance": dict(first_at_s=0.005, window_s=0.01, gap_s=0.005),
+    "conduit-cut": dict(cut_at_s=0.01, repair_at_s=0.025, stagger_s=0.005),
+    "regional-power-outage": dict(start_at_s=0.01, duration_s=0.025),
+    "maintenance-calendar": dict(first_at_s=0.005, window_s=0.01, period_s=0.02, occurrences=2),
+}
+
+
+def early_scenario(name):
+    """A canned scenario whose events actually fire inside a run_sim run."""
+    return get_scenario(name, **EARLY_EVENTS[name])
+
+
 class TestStaticEquivalence:
     def test_static_run_bitwise_identical(self):
         scalar = run_sim(vectorized=False)
@@ -171,15 +191,18 @@ class TestScenarioEquivalence:
         "name", ["single-link-cut", "cascading-failure", "diurnal-surge", "rolling-maintenance"]
     )
     def test_canned_scenarios(self, name):
-        scalar = run_sim(vectorized=False, scenario=get_scenario(name))
-        vector = run_sim(vectorized=True, scenario=get_scenario(name))
+        scalar = run_sim(vectorized=False, scenario=early_scenario(name))
+        vector = run_sim(vectorized=True, scenario=early_scenario(name))
+        assert any(
+            o.applied_s is not None for o in scalar.scenario_metrics.outcomes
+        ), f"{name}: no event fired; the equivalence case is vacuous"
         assert_results_identical(scalar, vector)
         assert_scenario_metrics_identical(scalar, vector)
 
     @pytest.mark.parametrize("name", ["single-link-cut", "diurnal-surge"])
     def test_canned_scenarios_legacy_core(self, name):
-        legacy = run_sim(vectorized=True, soa=False, scenario=get_scenario(name))
-        soa = run_sim(vectorized=True, soa=True, scenario=get_scenario(name))
+        legacy = run_sim(vectorized=True, soa=False, scenario=early_scenario(name))
+        soa = run_sim(vectorized=True, soa=True, scenario=early_scenario(name))
         assert_results_identical(legacy, soa)
         assert_scenario_metrics_identical(legacy, soa)
 
@@ -190,8 +213,8 @@ class TestScenarioEquivalence:
         """Batched arrivals + telemetry columns under every canned scenario
         (surges, drains, maintenance windows, exact arrival/event time
         ties) match the per-flow PR-3 control plane bit for bit."""
-        batched = run_sim(vectorized=True, scenario=get_scenario(name))
-        legacy_cp = run_sim(vectorized=True, batched=False, scenario=get_scenario(name))
+        batched = run_sim(vectorized=True, scenario=early_scenario(name))
+        legacy_cp = run_sim(vectorized=True, batched=False, scenario=early_scenario(name))
         assert_results_identical(batched, legacy_cp)
         assert_scenario_metrics_identical(batched, legacy_cp)
 
@@ -201,11 +224,11 @@ class TestScenarioEquivalence:
         kernels stay bit-identical through mid-run reroutes."""
         scalar = run_sim(
             vectorized=False, cc=cc, num_flows=100,
-            scenario=get_scenario("single-link-cut"),
+            scenario=early_scenario("single-link-cut"),
         )
         soa = run_sim(
             vectorized=True, cc=cc, num_flows=100,
-            scenario=get_scenario("single-link-cut"),
+            scenario=early_scenario("single-link-cut"),
         )
         assert_results_identical(scalar, soa)
         assert_scenario_metrics_identical(scalar, soa)
@@ -214,11 +237,11 @@ class TestScenarioEquivalence:
         """Scenario disruption on a heterogeneous fleet (grouped kernels)."""
         scalar = run_sim(
             vectorized=False, cc=MIX, num_flows=100,
-            scenario=get_scenario("single-link-cut"),
+            scenario=early_scenario("single-link-cut"),
         )
         soa = run_sim(
             vectorized=True, cc=MIX, num_flows=100,
-            scenario=get_scenario("single-link-cut"),
+            scenario=early_scenario("single-link-cut"),
         )
         assert_results_identical(scalar, soa)
         assert_scenario_metrics_identical(scalar, soa)
@@ -392,3 +415,45 @@ class TestHighConcurrencyEquivalence:
         assert_results_identical(scalar, soa)
         assert_scenario_metrics_identical(scalar, soa)
         assert_scenario_metrics_identical(legacy, soa)
+
+
+class TestCorrelatedScenarioEquivalence:
+    """The correlated-failure families (SRLG conduit cuts, regional power
+    events, compiled maintenance calendars) on every core: per-link
+    staggered repairs, blackout/degraded partitions and calendar-expanded
+    timelines must not disturb cross-core bit-identity."""
+
+    @pytest.mark.parametrize(
+        "name", ["conduit-cut", "regional-power-outage", "maintenance-calendar"]
+    )
+    def test_all_cores_bitwise_identical(self, name):
+        scenario = early_scenario(name)
+        scalar = run_sim(vectorized=False, scenario=scenario)
+        fired = [o for o in scalar.scenario_metrics.outcomes if o.applied_s is not None]
+        assert fired, f"{name}: no event fired; the equivalence case is vacuous"
+        assert any(o.links_affected > 0 for o in fired)
+        for kwargs in (
+            dict(vectorized=True),                  # cc_blocks (default SoA)
+            dict(vectorized=True, soa=False),       # legacy object core
+            dict(vectorized=True, cc_blocks=False), # object-gather dispatch
+            dict(vectorized=True, batched=False),   # per-flow control plane
+        ):
+            other = run_sim(scenario=scenario, **kwargs)
+            assert_results_identical(scalar, other)
+            assert_scenario_metrics_identical(scalar, other)
+
+    def test_conduit_cut_mixed_fleet(self):
+        scenario = early_scenario("conduit-cut")
+        scalar = run_sim(vectorized=False, cc=MIX, scenario=scenario)
+        soa = run_sim(vectorized=True, cc=MIX, scenario=scenario)
+        assert_results_identical(scalar, soa)
+        assert_scenario_metrics_identical(scalar, soa)
+
+    def test_empty_timeline_matches_no_scenario(self):
+        """A scenario with no events (and no recurring expansion) leaves
+        the run bit-identical to a scenario-free one: compiled_events() is
+        the identity for non-calendar timelines."""
+        empty = Scenario(name="empty")
+        with_scenario = run_sim(vectorized=True, scenario=empty)
+        without = run_sim(vectorized=True, scenario=None)
+        assert_results_identical(with_scenario, without)

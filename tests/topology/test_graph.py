@@ -2,7 +2,18 @@
 
 import pytest
 
-from repro.topology import GBPS, MS, NodeKind, Topology, TopologyError
+from repro.topology import (
+    DC_ATTR_PLAN,
+    GBPS,
+    MS,
+    POWER_REDUNDANCY_LEVELS,
+    DCAttrs,
+    NodeKind,
+    Topology,
+    TopologyError,
+    build_testbed8,
+    power_redundancy_rank,
+)
 
 
 def make_two_dc():
@@ -134,3 +145,50 @@ class TestValidationAndQueries:
         topo.add_link("DC1", "DC1/leaf0", GBPS, 1e-6)
         assert len(topo.inter_dc_links()) == 2
         assert all(l.inter_dc for l in topo.inter_dc_links())
+
+
+class TestDCAttributes:
+    def test_attrs_stored_and_queried(self):
+        topo = Topology("attrs")
+        topo.add_dc("DC1", region="west", tier="tier4", power_redundancy="2N")
+        attrs = topo.dc_attrs("DC1")
+        assert attrs == DCAttrs(region="west", tier="tier4", power_redundancy="2N")
+
+    def test_default_redundancy_is_no_spare(self):
+        topo = Topology("attrs")
+        topo.add_dc("DC1")
+        assert topo.dc_attrs("DC1").power_redundancy == "N"
+
+    def test_unknown_dc_rejected(self):
+        topo = Topology("attrs")
+        with pytest.raises(TopologyError, match="unknown datacenter"):
+            topo.dc_attrs("DC9")
+
+    def test_invalid_redundancy_level_rejected(self):
+        with pytest.raises(TopologyError):
+            DCAttrs(power_redundancy="5N")
+
+    def test_redundancy_rank_is_ordered(self):
+        ranks = [power_redundancy_rank(level) for level in POWER_REDUNDANCY_LEVELS]
+        assert ranks == sorted(ranks)
+        assert power_redundancy_rank("N") < power_redundancy_rank("2N")
+
+    def test_matching_filters_by_region_and_tier(self):
+        topo = Topology("attrs")
+        topo.add_dc("DC1", region="west", tier="tier4")
+        topo.add_dc("DC2", region="west", tier="tier3")
+        topo.add_dc("DC3", region="east", tier="tier3")
+        assert topo.dcs_matching(region="west") == ["DC1", "DC2"]
+        assert topo.dcs_matching(tier="tier3") == ["DC2", "DC3"]
+        assert topo.dcs_matching(region="west", tier="tier3") == ["DC2"]
+        assert topo.dcs_matching() == ["DC1", "DC2", "DC3"]
+
+    def test_testbed_plan_covers_every_dc(self):
+        topo = build_testbed8()
+        for dc, (region, tier, redundancy) in DC_ATTR_PLAN.items():
+            attrs = topo.dc_attrs(dc)
+            assert (attrs.region, attrs.tier, attrs.power_redundancy) == (
+                region,
+                tier,
+                redundancy,
+            )
