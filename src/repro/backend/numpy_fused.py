@@ -1,0 +1,130 @@
+"""The fused numpy backend — faster kernels, still bit-identical.
+
+Two measured wins over the reference idioms (numbers from the container
+this PR was developed on, numpy 2.4; see
+``benchmarks/test_kernel_micro.py`` for the recorded trajectory):
+
+* ``scatter_add`` uses ``np.bincount(idx, weights=…)`` instead of
+  ``np.add.at``.  Both accumulate duplicates sequentially in input order,
+  so the result is bit-identical; bincount is ~1.4× faster at 80k lanes.
+* Segment reductions and the path-signal walk detect the **uniform
+  path-length** geometry (every segment the same length — the common case
+  on the testbed topologies, where all candidate paths have equal hop
+  count) and reshape the lane array to ``(flows, hops)``: the per-hop
+  masked ``flatnonzero`` gathers of the reference walk collapse into
+  contiguous column strides (~4.8× on the walk at 20k×4 lanes).  Column
+  order equals hop order, so left-to-right association — and therefore
+  bit-identity — is preserved; ``min``/``max`` are order-exact either way.
+
+Non-uniform geometries fall back to the reference kernels, so
+``backend="numpy_fused"`` is bit-identical to ``backend="numpy"`` on every
+input, not just the fast-path ones (guarded end to end by
+``tests/backend/test_backend_equivalence.py`` and the scenario-fuzz
+harness core config).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .core import register_backend
+from .numpy_ref import NumpyBackend
+
+__all__ = ["FusedNumpyBackend"]
+
+
+def _uniform_length(n_lanes: int, starts, lengths) -> Optional[int]:
+    """The common segment length, if all segments tile ``values`` uniformly.
+
+    Returns:
+        The shared positive length ``L`` when every segment has length
+        ``L`` and segment ``i`` starts at ``i * L`` (so the lane array
+        reshapes to ``(len(starts), L)``); None otherwise.
+    """
+    n = len(starts)
+    if n == 0 or not len(lengths):
+        return None
+    first = int(lengths[0])
+    if first <= 0 or n * first != n_lanes:
+        return None
+    if not (lengths == first).all():
+        return None
+    # uniform lengths + matching total size still allows permuted starts;
+    # the tiled layout additionally needs starts[i] == i * first
+    if starts[0] != 0 or starts[-1] != (n - 1) * first:
+        return None
+    if not np.array_equal(starts, np.arange(n, dtype=starts.dtype) * first):
+        return None
+    return first
+
+
+class FusedNumpyBackend(NumpyBackend):
+    """Fused kernels: bincount scatter-add, reshape segment reductions."""
+
+    name = "numpy_fused"
+
+    def scatter_add(self, size: int, idx, values) -> np.ndarray:
+        """``np.bincount`` accumulation (same order, same bits)."""
+        if not len(idx):
+            return np.zeros(size)
+        return np.bincount(idx, weights=values, minlength=size)
+
+    def segment_reduce(self, values, starts, lengths, op: str) -> np.ndarray:
+        """Reshape reduction on uniform geometry, reference otherwise."""
+        values = np.asarray(values)
+        starts = np.asarray(starts)
+        lengths = np.asarray(lengths)
+        if op in ("min", "max"):
+            width = _uniform_length(len(values), starts, lengths)
+            if width is not None:
+                # column-by-column with an explicit out= buffer: numpy's
+                # strided axis-1 reduce (``grid.min(axis=1)``) is ~20x
+                # slower at hop-count-sized inner dimensions
+                grid = values.reshape(len(starts), width)
+                ufunc = np.minimum if op == "min" else np.maximum
+                out = grid[:, 0].copy()
+                for k in range(1, width):
+                    ufunc(out, grid[:, k], out=out)
+                return out
+        elif op in ("sum", "prod"):
+            width = _uniform_length(len(values), starts, lengths)
+            if width is not None:
+                # column-by-column accumulation: identical left-to-right
+                # association as the masked walk (starting from the op
+                # identity, as the walk does — a first-column copy would
+                # diverge on signed zeros), contiguous strides
+                grid = values.reshape(len(starts), width)
+                n = len(starts)
+                out = np.zeros(n) if op == "sum" else np.ones(n)
+                for k in range(width):
+                    if op == "sum":
+                        out += grid[:, k]
+                    else:
+                        out *= grid[:, k]
+                return out
+        return super().segment_reduce(values, starts, lengths, op)
+
+    def path_signals(
+        self, idx, starts, lengths, not_marked_links, delay_links
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Uniform-geometry reshape walk; reference masked walk otherwise."""
+        num_flows = len(starts)
+        if num_flows:
+            width = _uniform_length(len(idx), starts, lengths)
+            if width is not None:
+                grid = idx.reshape(num_flows, width)
+                not_marked = np.ones(num_flows)
+                queue_delay = np.zeros(num_flows)
+                for k in range(width):
+                    hop = grid[:, k]
+                    not_marked *= not_marked_links[hop]
+                    queue_delay += delay_links[hop]
+                return not_marked, queue_delay
+        return super().path_signals(
+            idx, starts, lengths, not_marked_links, delay_links
+        )
+
+
+register_backend("numpy_fused", FusedNumpyBackend)

@@ -1,0 +1,123 @@
+"""The numpy reference backend — today's exact idioms, bit for bit.
+
+Every kernel here is the literal array idiom the simulator cores used
+through PR 5 (``np.add.at`` scatter-adds, ``*.reduceat`` min/max
+reductions, the masked positional path walk), so selecting
+``backend="numpy"`` reproduces the PR-5 SoA core byte for byte — it is
+both the default and the measured baseline of the fused-backend speedup
+gate (``benchmarks/test_backend_throughput.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .core import ArrayBackend, register_backend
+
+__all__ = ["NumpyBackend"]
+
+
+def _csr_contiguous(n_lanes: int, starts, lengths) -> bool:
+    """True when segments tile ``[0, n_lanes)`` back to back in order."""
+    if len(starts) == 0:
+        return n_lanes == 0
+    if starts[0] != 0 or starts[-1] + lengths[-1] != n_lanes:
+        return False
+    return bool(np.array_equal(starts[1:], starts[:-1] + lengths[:-1]))
+
+
+class NumpyBackend(ArrayBackend):
+    """Reference kernels: the pre-backend numpy idioms, unchanged."""
+
+    name = "numpy"
+    xp = np
+
+    def scatter_add(self, size: int, idx, values) -> np.ndarray:
+        """``np.add.at`` accumulation (sequential in input order)."""
+        out = np.zeros(size)
+        np.add.at(out, idx, values)
+        return out
+
+    def segment_reduce(self, values, starts, lengths, op: str) -> np.ndarray:
+        """``reduceat`` for order-exact min/max, exact walk for sum/prod.
+
+        ``min``/``max`` are associative and commutative (NaNs propagate
+        either way), so ``np.minimum.reduceat`` / ``np.maximum.reduceat``
+        are usable whenever the CSR is contiguous with no empty segments —
+        the geometry the incidence structure guarantees.  ``sum``/``prod``
+        must accumulate strictly left to right (reduceat's intra-segment
+        association is unspecified), so they go through the positional
+        walk.  Degenerate geometries fall back to the naive loop.
+        """
+        values = np.asarray(values)
+        starts = np.asarray(starts)
+        lengths = np.asarray(lengths)
+        if len(starts) == 0:
+            return np.empty(0, dtype=np.float64)
+        if op in ("min", "max"):
+            if (lengths > 0).all() and _csr_contiguous(len(values), starts, lengths):
+                ufunc = np.minimum if op == "min" else np.maximum
+                return ufunc.reduceat(values, starts)
+            return self._segment_reduce_loop(values, starts, lengths, op)
+        if op in ("sum", "prod"):
+            return self._segment_walk(values, starts, lengths, op)
+        raise ValueError(f"unknown segment_reduce op {op!r}")
+
+    def _segment_walk(self, values, starts, lengths, op: str) -> np.ndarray:
+        """Masked positional walk: exact left-to-right association."""
+        n = len(starts)
+        out = np.zeros(n) if op == "sum" else np.ones(n)
+        if n == 0 or not lengths.size or int(lengths.max()) == 0:
+            return out
+        for k in range(int(lengths.max())):
+            sel = np.flatnonzero(lengths > k)
+            lane = values[starts[sel] + k]
+            if op == "sum":
+                out[sel] += lane
+            else:
+                out[sel] *= lane
+        return out
+
+    def path_signals(
+        self, idx, starts, lengths, not_marked_links, delay_links
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The PR-5 masked walk, fusing the product and the sum per hop."""
+        num_flows = len(starts)
+        not_marked = np.ones(num_flows)
+        queue_delay = np.zeros(num_flows)
+        if not num_flows or not len(lengths):
+            return not_marked, queue_delay
+        for k in range(int(np.max(lengths))):
+            sel = np.flatnonzero(lengths > k)
+            link = idx[starts[sel] + k]
+            not_marked[sel] *= not_marked_links[link]
+            queue_delay[sel] += delay_links[link]
+        return not_marked, queue_delay
+
+    def weighted_choice_searchsorted(self, cumulative, points) -> np.ndarray:
+        """``searchsorted(side="left")`` + clamp, as the batched routers do."""
+        idx = np.searchsorted(cumulative, points, side="left")
+        return np.minimum(idx, len(cumulative) - 1).astype(np.intp)
+
+    def gather_rows(self, column, rows) -> np.ndarray:
+        """Plain fancy-indexed gather."""
+        return column[rows]
+
+    def scatter_rows(self, column, rows, values) -> None:
+        """Plain fancy-indexed scatter."""
+        column[rows] = values
+
+    def masked_where(self, cond, a, b) -> np.ndarray:
+        """``np.where`` select."""
+        return np.where(cond, a, b)
+
+    def masked_divide(self, num, den, mask) -> np.ndarray:
+        """The ``np.divide(out=, where=)`` idiom (exact zeros off-mask)."""
+        out = np.zeros(np.broadcast(num, den).shape)
+        np.divide(num, den, out=out, where=mask)
+        return out
+
+
+register_backend("numpy", NumpyBackend)

@@ -312,7 +312,9 @@ class DCQCN(CongestionControl):
         if not len(slots):
             return
         block = table.cc_block(cls)
-        ecn = np.asarray(ecn)
+        # no boundary cast: feedback arrays and table columns hold their
+        # canonical float64 dtype (enforced at FlowTable growth time)
+        where = table.backend.masked_where
         g = block.p_g[slots]
         line = block.p_line[slots]
         floor = block.p_floor[slots]
@@ -322,17 +324,17 @@ class DCQCN(CongestionControl):
         target = block.target[slots]
 
         congested = ecn > threshold
-        alpha = np.where(
+        alpha = where(
             congested, (1 - g) * alpha + g * np.minimum(1.0, ecn * 4), alpha
         )
-        target = np.where(congested, rate, target)
-        rate = np.where(congested, rate * (1 - alpha / 2.0), rate)
-        rate = np.where(congested, np.minimum(line, np.maximum(floor, rate)), rate)
+        target = where(congested, rate, target)
+        rate = where(congested, rate * (1 - alpha / 2.0), rate)
+        rate = where(congested, np.minimum(line, np.maximum(floor, rate)), rate)
 
         block.alpha[slots] = alpha
         table.cc_rate_bps[slots] = rate
         block.target[slots] = target
-        block.stage[slots] = np.where(congested, 0.0, block.stage[slots])
+        block.stage[slots] = where(congested, 0.0, block.stage[slots])
         block.congested[slots] = congested
         table.feedback_count[slots] += 1
 
@@ -342,6 +344,7 @@ class DCQCN(CongestionControl):
         if not len(slots):
             return
         block = table.cc_block(cls)
+        where = table.backend.masked_where
         interval = block.p_interval[slots]
         g = block.p_g[slots]
         inc_interval = block.p_inc[slots]
@@ -360,21 +363,21 @@ class DCQCN(CongestionControl):
         decay = 1 - g
         pending = elapsed >= interval
         while pending.any():
-            elapsed = np.where(pending, elapsed - interval, elapsed)
-            alpha = np.where(pending, alpha * decay, alpha)
+            elapsed = where(pending, elapsed - interval, elapsed)
+            alpha = where(pending, alpha * decay, alpha)
             pending = elapsed >= interval
 
         # staged rate recovery (fast recovery / AI / hyper increase)
         pending = inc_elapsed >= inc_interval
         while pending.any():
-            inc_elapsed = np.where(pending, inc_elapsed - inc_interval, inc_elapsed)
+            inc_elapsed = where(pending, inc_elapsed - inc_interval, inc_elapsed)
             ai_lane = pending & (stage >= 5) & (stage < 10)
             hai_lane = pending & (stage >= 10)
-            target = np.where(ai_lane, np.minimum(line, target + ai), target)
-            target = np.where(hai_lane, np.minimum(line, target + hai), target)
-            rate = np.where(pending, (rate + target) / 2.0, rate)
-            stage = np.where(pending, stage + 1, stage)
-            rate = np.where(pending, np.minimum(line, np.maximum(floor, rate)), rate)
+            target = where(ai_lane, np.minimum(line, target + ai), target)
+            target = where(hai_lane, np.minimum(line, target + hai), target)
+            rate = where(pending, (rate + target) / 2.0, rate)
+            stage = where(pending, stage + 1, stage)
+            rate = where(pending, np.minimum(line, np.maximum(floor, rate)), rate)
             pending = inc_elapsed >= inc_interval
 
         block.alpha[slots] = alpha

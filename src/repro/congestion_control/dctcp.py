@@ -106,7 +106,8 @@ class DCTCP(CongestionControl):
             return
         block = table.cc_block(cls)
         table.feedback_count[slots] += 1
-        block.ecn_acc[slots] += np.asarray(ecn)
+        # no boundary cast: feedback arrays arrive float64 (dtype-checked)
+        block.ecn_acc[slots] += ecn
         block.ecn_n[slots] += 1
 
     @classmethod
@@ -115,6 +116,8 @@ class DCTCP(CongestionControl):
         if not len(slots):
             return
         block = table.cc_block(cls)
+        bk = table.backend
+        where = bk.masked_where
         t_win = block.t_win[slots] + dt
         rtt = np.maximum(block.p_rtt[slots], 1e-6)
         due = t_win >= rtt
@@ -124,26 +127,25 @@ class DCTCP(CongestionControl):
 
         acc = block.ecn_acc[slots]
         n = block.ecn_n[slots]
-        marked = np.zeros(len(slots))
-        np.divide(acc, n, out=marked, where=n > 0)
+        marked = bk.masked_divide(acc, n, n > 0)
 
         g = block.p_g[slots]
         alpha = block.alpha[slots]
-        alpha = np.where(due, (1 - g) * alpha + g * marked, alpha)
+        alpha = where(due, (1 - g) * alpha + g * marked, alpha)
 
         rate = table.cc_rate_bps[slots]
         cut = due & (marked > 0)
         grow = due & ~(marked > 0)
-        rate = np.where(cut, rate * (1 - alpha / 2.0), rate)
-        rate = np.where(grow, rate + block.p_mss[slots] * 8.0 / rtt, rate)
-        rate = np.where(
+        rate = where(cut, rate * (1 - alpha / 2.0), rate)
+        rate = where(grow, rate + block.p_mss[slots] * 8.0 / rtt, rate)
+        rate = where(
             due,
             np.minimum(block.p_line[slots], np.maximum(block.p_floor[slots], rate)),
             rate,
         )
 
-        block.t_win[slots] = np.where(due, 0.0, t_win)
-        block.ecn_acc[slots] = np.where(due, 0.0, acc)
-        block.ecn_n[slots] = np.where(due, 0, n)
+        block.t_win[slots] = where(due, 0.0, t_win)
+        block.ecn_acc[slots] = where(due, 0.0, acc)
+        block.ecn_n[slots] = where(due, 0, n)
         block.alpha[slots] = alpha
         table.cc_rate_bps[slots] = rate

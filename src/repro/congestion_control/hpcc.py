@@ -100,15 +100,18 @@ class HPCC(CongestionControl):
         block = table.cc_block(cls)
         table.feedback_count[slots] += 1
 
-        utilization = np.maximum(np.asarray(util), 1e-6)
+        # no boundary cast: the feedback arrays arrive float64 (FlowTable
+        # columns are dtype-checked at growth time)
+        where = table.backend.masked_where
+        utilization = np.maximum(util, 1e-6)
         eta = block.p_eta[slots]
         wai = block.p_wai[slots]
         stage = block.stage[slots]
         ref = block.ref[slots]
 
         adjust = (utilization > eta) | (stage >= block.p_maxstage[slots])
-        ref = np.where(adjust, ref * (eta / utilization) + wai, ref + wai)
-        stage = np.where(adjust, 0, stage + 1)
+        ref = where(adjust, ref * (eta / utilization) + wai, ref + wai)
+        stage = where(adjust, 0, stage + 1)
         # rate = clamp(ref); the reference rate then snaps to the clamped rate
         rate = np.minimum(block.p_line[slots], np.maximum(block.p_floor[slots], ref))
 

@@ -100,7 +100,8 @@ class IdealCC(CongestionControl):
             return
         block = table.cc_block(cls)
         table.feedback_count[slots] += 1
-        utilization = np.maximum(np.asarray(util), 1e-6)
+        # no boundary cast: feedback arrays arrive float64 (dtype-checked)
+        utilization = np.maximum(util, 1e-6)
         rate = table.cc_rate_bps[slots] * (block.p_target[slots] / utilization)
         table.cc_rate_bps[slots] = np.minimum(
             block.p_line[slots], np.maximum(block.p_floor[slots], rate)

@@ -121,7 +121,8 @@ class Timely(CongestionControl):
         block = table.cc_block(cls)
         table.feedback_count[slots] += 1
 
-        rtt = np.asarray(rtt)
+        # no boundary cast: feedback arrays arrive float64 (dtype-checked)
+        where = table.backend.masked_where
         new_diff = rtt - block.prev_rtt[slots]
         block.prev_rtt[slots] = rtt
         ewma = block.p_ewma[slots]
@@ -139,13 +140,13 @@ class Timely(CongestionControl):
         grad_decrease = mid & (gradient > 0)
 
         hai = block.hai[slots]
-        hai = np.where(increase, hai + 1, 0)
+        hai = where(increase, hai + 1, 0)
         beta = block.p_beta[slots]
         rate = table.cc_rate_bps[slots]
-        step = block.p_add[slots] * np.where(hai >= 5, 5.0, 1.0)
-        rate = np.where(increase, rate + step, rate)
-        rate = np.where(high, rate * (1 - beta * (1 - t_high / rtt)), rate)
-        rate = np.where(
+        step = block.p_add[slots] * where(hai >= 5, 5.0, 1.0)
+        rate = where(increase, rate + step, rate)
+        rate = where(high, rate * (1 - beta * (1 - t_high / rtt)), rate)
+        rate = where(
             grad_decrease, rate * (1 - beta * np.minimum(1.0, gradient)), rate
         )
         rate = np.minimum(block.p_line[slots], np.maximum(block.p_floor[slots], rate))

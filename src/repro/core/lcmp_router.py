@@ -243,7 +243,7 @@ class LCMPRouter(Router):
                 inner = (
                     flow_hash_array(ids, self.config.hash_salt) % len(reduced)
                 ).astype(np.intp)
-                chosen_idx = reduced_to_candidate[inner]
+                chosen_idx = self.backend.gather_rows(reduced_to_candidate, inner)
                 self.last_outcome = SelectionOutcome(
                     chosen=reduced[int(inner[-1])],
                     reduced_set=reduced,

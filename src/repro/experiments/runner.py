@@ -156,6 +156,7 @@ class ExperimentRunner:
             fidelity_noise=spec.fidelity_noise,
             seed=spec.seed,
             vectorized=spec.vectorized,
+            backend=spec.backend,
             instrumentation=spec.instrumentation,
         )
 

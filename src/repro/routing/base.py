@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Type
 
 import numpy as np
 
+from ..backend import get_backend
 from ..simulator.flow import FlowDemand
 from ..simulator.switch import PortSample
 from ..topology.paths import CandidatePath
@@ -89,6 +90,11 @@ class Router(abc.ABC):
 
     def __init__(self) -> None:
         self.switch = None
+        #: array backend for the batched selection kernels
+        #: (:meth:`~repro.backend.core.ArrayBackend
+        #: .weighted_choice_searchsorted`); the runtime network rebinds it
+        #: to the simulation config's backend at construction
+        self.backend = get_backend("numpy")
         #: number of select() calls served
         self.decisions = 0
         #: decisions served through the base sequential select_batch loop

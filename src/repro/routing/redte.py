@@ -179,5 +179,4 @@ class RedTERouter(Router):
             (d.flow_id for d in demands), dtype=np.int64, count=len(demands)
         )
         points = (flow_hash_array(ids, self.salt).astype(np.float64) / 0xFFFFFFFF) * total
-        idx = np.searchsorted(cumulative, points, side="left")
-        return np.minimum(idx, len(candidates) - 1).astype(np.intp)
+        return self.backend.weighted_choice_searchsorted(cumulative, points)

@@ -118,4 +118,4 @@ class UCMPRouter(Router):
             (d.flow_id for d in demands), dtype=np.int64, count=len(demands)
         )
         inner = (flow_hash_array(ids, self.salt) % len(cheapest)).astype(np.intp)
-        return cheapest[inner]
+        return self.backend.gather_rows(cheapest, inner)

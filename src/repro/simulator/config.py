@@ -77,6 +77,20 @@ class SimulationConfig:
             batch methods), kept as the baseline the uniform-fleet CC
             benchmark measures against.  Results are bit-for-bit identical
             either way (see DESIGN.md, "Congestion control (arrays)").
+        backend: array-backend selection for the vectorized cores' hot
+            kernels (see :mod:`repro.backend` and DESIGN.md, "Array
+            backends & kernels").  ``"numpy"`` (default) is the reference
+            backend — the exact pre-backend idioms, bit-for-bit the PR-5
+            SoA core.  ``"numpy_fused"`` swaps in the fused kernels
+            (``bincount`` scatter-add, uniform-path-length reshape
+            reductions), still bit-identical (guarded by
+            ``tests/backend/`` and the scenario-fuzz harness) and ≥1.3×
+            step throughput at 20k concurrent flows.  ``"torch"`` (only
+            when torch is installed) runs the kernels on torch tensors —
+            equivalent within the documented float tolerance, not
+            bit-identical (``scatter_add`` duplicate order is
+            unspecified).  The scalar core (``vectorized=False``) is the
+            executable specification and always runs plain numpy.
         instrumentation: enable the runtime observability plane
             (:mod:`repro.obs`): phase timers around every step sub-phase,
             slow-path counters, and an engine/routing/cache metrics harvest
@@ -102,6 +116,7 @@ class SimulationConfig:
     soa: bool = True
     batched_control: bool = True
     cc_blocks: bool = True
+    backend: str = "numpy"
     instrumentation: bool = False
 
     def with_overrides(self, **kwargs) -> "SimulationConfig":
@@ -128,3 +143,19 @@ class SimulationConfig:
             raise ValueError("max_sim_time_s must be positive")
         if self.fidelity_noise < 0:
             raise ValueError("fidelity_noise must be non-negative")
+        # local import: repro.backend is dependency-free, but keeping the
+        # config module import-light preserves its standalone usability
+        # (importing the package registers every backend factory)
+        import repro.backend as _backend  # noqa: F401
+        from ..backend.core import _FACTORIES
+
+        if self.backend not in _FACTORIES:
+            raise ValueError(
+                f"unknown backend {self.backend!r} "
+                f"(registered: {', '.join(sorted(_FACTORIES))})"
+            )
+        if self.backend != "numpy" and not self.vectorized:
+            raise ValueError(
+                "the scalar core is the executable specification and only "
+                "runs the numpy reference backend"
+            )

@@ -43,7 +43,26 @@ from typing import Dict, List, Optional, Type
 
 import numpy as np
 
+from ..backend import get_backend
+
 __all__ = ["ColumnBlock", "FlowTable"]
+
+#: canonical dtype of every core column — enforced once at construction
+#: and growth time, so kernels (CC column blocks, the backend layer) can
+#: rely on the dtypes without per-call ``np.asarray`` casts
+_CORE_DTYPES: Dict[str, str] = {
+    "remaining_bytes": "f8",
+    "base_rtt_s": "f8",
+    "achieved_bps": "f8",
+    "disrupted_s": "f8",
+    "feedback_live": "?",
+    "feedback_tick": "i8",
+    "cc_rate_bps": "f8",
+    "feedback_count": "i8",
+    "epoch": "i8",
+    "path_id": "i8",
+    "cc_class_id": "i8",
+}
 
 
 class ColumnBlock:
@@ -55,8 +74,20 @@ class ColumnBlock:
     """
 
     def __init__(self, spec: Dict[str, str], capacity: int) -> None:
-        self._spec = dict(spec)
+        self._spec = {
+            name: np.dtype(dtype).str for name, dtype in spec.items()
+        }
         for name, dtype in self._spec.items():
+            if np.dtype(dtype) not in (
+                np.dtype(np.float64),
+                np.dtype(np.int64),
+                np.dtype(bool),
+            ):
+                raise TypeError(
+                    f"CC column {name!r} must be float64/int64/bool, "
+                    f"got {dtype!r} — kernels rely on canonical dtypes "
+                    "(no per-call casts)"
+                )
             setattr(self, name, np.zeros(capacity, dtype=dtype))
 
     def _grow(self, capacity: int) -> None:
@@ -72,11 +103,16 @@ class FlowTable:
 
     Args:
         capacity: initial number of row slots (grows by doubling).
+        backend: the :class:`~repro.backend.core.ArrayBackend` the table's
+            consumers (fluid step, CC column kernels) dispatch through;
+            the numpy reference backend when omitted.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(self, capacity: int = 256, backend=None) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
+        #: the array backend bound to this table's kernels
+        self.backend = backend if backend is not None else get_backend("numpy")
         self._capacity = int(capacity)
         #: flow object occupying each slot (None = free)
         self._flows: List[Optional[object]] = [None] * self._capacity
@@ -130,6 +166,23 @@ class FlowTable:
         self._class_n: List[int] = []
         #: position of each slot inside its class registry (-1 = none)
         self._class_pos = np.full(self._capacity, -1, dtype=np.intp)
+        self._check_dtypes()
+
+    def _check_dtypes(self) -> None:
+        """Assert every core column holds its canonical dtype.
+
+        Runs at construction and after every growth, so dtype drift is
+        caught once at the allocation site instead of being papered over
+        by per-call ``np.asarray`` casts in the step and CC kernels (which
+        this check makes safely removable).
+        """
+        for name, dtype in _CORE_DTYPES.items():
+            col = getattr(self, name)
+            if col.dtype != np.dtype(dtype):
+                raise TypeError(
+                    f"FlowTable column {name!r} drifted to dtype "
+                    f"{col.dtype}, expected {np.dtype(dtype)}"
+                )
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -318,3 +371,4 @@ class FlowTable:
             block._grow(new_capacity)
         self._flows.extend([None] * (new_capacity - self._capacity))
         self._capacity = new_capacity
+        self._check_dtypes()

@@ -48,6 +48,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..backend import get_backend
 from ..obs import Instrumentation, NOOP
 from .config import SimulationConfig
 from .engine import SimulationEngine, SimulationError
@@ -311,14 +312,20 @@ class FluidSimulation:
         self._trace = LinkTrace() if trace_links else None
 
         self._active: List[Flow] = []
+        #: the array backend executing this run's hot kernels (scatter
+        #: adds, segment reductions, the path-signal walk — see
+        #: :mod:`repro.backend`); the scalar core ignores it
+        self._backend = get_backend(self.config.backend)
         #: flow×link incidence arrays (None = scalar update path)
         self._incidence: Optional[FlowLinkIncidence] = (
-            FlowLinkIncidence() if self.config.vectorized else None
+            FlowLinkIncidence(backend=self._backend)
+            if self.config.vectorized
+            else None
         )
         #: structure-of-arrays per-flow state (vectorized cores only; the
         #: scalar reference path keeps state on the objects, untouched)
         self._table: Optional[FlowTable] = (
-            FlowTable() if self.config.vectorized else None
+            FlowTable(backend=self._backend) if self.config.vectorized else None
         )
         #: SoA core: flows and controllers are *bound* to their table rows
         #: (columns authoritative); False = object-resident legacy core
@@ -336,7 +343,7 @@ class FluidSimulation:
 
         self.telemetry: Optional[TelemetryPlane] = None
         if self._batched:
-            self.telemetry = TelemetryPlane(network)
+            self.telemetry = TelemetryPlane(network, backend=self._backend)
             self.telemetry.attach_incidence(self._incidence)
         self.monitor = QueueMonitor(network, trace=self._trace, plane=self.telemetry)
         #: FlowTable rows of the active flows, aligned with ``_active``
@@ -773,6 +780,7 @@ class FluidSimulation:
         line = self._feedback_line
         soa = self._soa
         table = self._table
+        bk = self._backend
         batches: List[Tuple[_FeedbackGeneration, object, object]] = []
         repeated = False
         for gen in line:
@@ -783,9 +791,9 @@ class FluidSimulation:
             if lanes.size:
                 gen.undelivered[lanes] = False
                 if soa:
-                    rows = gen.rows[lanes]
-                    valid = table.feedback_live[rows] & (
-                        table.epoch[rows] == gen.epochs[lanes]
+                    rows = bk.gather_rows(gen.rows, lanes)
+                    valid = bk.gather_rows(table.feedback_live, rows) & (
+                        bk.gather_rows(table.epoch, rows) == gen.epochs[lanes]
                     )
                     if not valid.all():
                         rows = rows[valid]
@@ -930,18 +938,21 @@ class FluidSimulation:
             for _, flow, signal in items:
                 flow.cc.on_feedback(signal, now)
 
-    @staticmethod
-    def _accumulate_path_signals(inc, not_marked_links, delay_links):
+    def _accumulate_path_signals(self, inc, not_marked_links, delay_links):
         """Per-flow path products/sums in exact scalar accumulation order.
 
-        Walks the paths position by position (one masked gather-and-apply
-        per hop; paths are a handful of links), so every flow's ECN
-        survival product and queueing-delay sum associate strictly left to
-        right — exactly like the scalar loop in :meth:`_feedback_for`.
+        Dispatches to the run's array backend's ``path_signals`` kernel
+        (see :mod:`repro.backend`): every backend walks the paths position
+        by position, so each flow's ECN survival product and
+        queueing-delay sum associate strictly left to right — exactly like
+        the scalar loop in :meth:`_feedback_for`.
         ``np.multiply.reduceat`` / ``np.add.reduceat`` are *not* usable
         here: their intra-segment association is unspecified (numpy may
         block the reduction), which lands one ulp away from the scalar
         result on some queue patterns and breaks the bit-identity contract.
+        The fused backend collapses the masked per-hop gathers into
+        contiguous column strides when every path has the same hop count
+        — the common testbed geometry — preserving the association order.
 
         Args:
             inc: the flow×link incidence structure (CSR layout).
@@ -951,18 +962,9 @@ class FluidSimulation:
         Returns:
             ``(not_marked, queue_delay)`` per-flow arrays.
         """
-        idx, starts, lengths = inc.idx, inc.starts, inc.lengths
-        num_flows = len(starts)
-        not_marked = np.ones(num_flows)
-        queue_delay = np.zeros(num_flows)
-        if not num_flows:
-            return not_marked, queue_delay
-        for k in range(int(lengths.max())):
-            sel = np.flatnonzero(lengths > k)
-            link = idx[starts[sel] + k]
-            not_marked[sel] *= not_marked_links[link]
-            queue_delay[sel] += delay_links[link]
-        return not_marked, queue_delay
+        return self._backend.path_signals(
+            inc.idx, inc.starts, inc.lengths, not_marked_links, delay_links
+        )
 
     def _update_step_scalar(self) -> None:
         """The original pure-Python update step (the executable spec)."""
@@ -1045,6 +1047,7 @@ class FluidSimulation:
             return
 
         with self._sp_load_queue:
+            bk = self._backend
             inc = self._incidence
             table = self._table
             rows = self._active_rows()
@@ -1055,9 +1058,10 @@ class FluidSimulation:
             # 1. offered load per link: flow-major scatter-add, which keeps
             # the per-link accumulation order identical to the scalar dict
             # loop
-            rates = table.cc_rate_bps[rows]
-            offered = np.zeros(inc.num_links)
-            np.add.at(offered, idx, np.repeat(rates, inc.lengths))
+            rates = bk.gather_rows(table.cc_rate_bps, rows)
+            offered = bk.scatter_add(
+                inc.num_links, idx, bk.expand_segments(rates, inc.lengths)
+            )
 
             # 2. queue integration (active slots only — the scalar path
             # only integrates links that appear on some active flow's path)
@@ -1081,18 +1085,19 @@ class FluidSimulation:
             inc.offered_bps[act] = offered[act]
 
             loaded = offered > 0
-            ratio = np.zeros(inc.num_links)
-            np.divide(cap, offered, out=ratio, where=loaded)
-            scale = np.where(
-                ~up, 0.0, np.where(loaded, np.minimum(1.0, ratio), 1.0)
+            ratio = bk.masked_divide(cap, offered, loaded)
+            scale = bk.masked_where(
+                ~up, 0.0, bk.masked_where(loaded, np.minimum(1.0, ratio), 1.0)
             )
 
         with self._sp_signals:
             # 3. per-flow achieved rate: min scale across the path
-            factor = np.minimum.reduceat(scale[idx], starts)
+            factor = bk.segment_reduce(
+                bk.gather_rows(scale, idx), starts, inc.lengths, "min"
+            )
             achieved = rates * factor
             want = achieved * dt / 8.0
-            before = table.remaining_bytes[rows]
+            before = bk.gather_rows(table.remaining_bytes, rows)
             remaining = before - np.minimum(want, before)
 
             # 4. congestion feedback from the same arrays
@@ -1100,23 +1105,23 @@ class FluidSimulation:
             # _feedback_for computes per link
             q = inc.queue_bytes
             span = inc.ecn_kmax - inc.ecn_kmin
-            mark = np.zeros(inc.num_links)
-            np.divide(
-                inc.ecn_pmax * (q - inc.ecn_kmin), span, out=mark, where=span > 0
+            mark = bk.masked_divide(
+                inc.ecn_pmax * (q - inc.ecn_kmin), span, span > 0
             )
-            mark = np.where(
-                q <= inc.ecn_kmin, 0.0, np.where(q >= inc.ecn_kmax, 1.0, mark)
+            mark = bk.masked_where(
+                q <= inc.ecn_kmin, 0.0, bk.masked_where(q >= inc.ecn_kmax, 1.0, mark)
             )
 
-            util = np.zeros(inc.num_links)
-            np.divide(offered, cap, out=util, where=cap > 0)
-            max_util = np.maximum.reduceat(util[idx], starts)
+            util = bk.masked_divide(offered, cap, cap > 0)
+            max_util = bk.segment_reduce(
+                bk.gather_rows(util, idx), starts, inc.lengths, "max"
+            )
 
             not_marked, queue_delay = self._accumulate_path_signals(
                 inc, 1.0 - mark, q * 8.0 / cap
             )
             ecn_fraction = 1.0 - not_marked
-            base_rtt = table.base_rtt_s[rows]
+            base_rtt = bk.gather_rows(table.base_rtt_s, rows)
             rtt = base_rtt + queue_delay
 
         with self._sp_feedback:
@@ -1139,8 +1144,8 @@ class FluidSimulation:
                     epochs=table.epoch[rows],
                 )
             )
-            table.achieved_bps[rows] = achieved
-            table.remaining_bytes[rows] = remaining
+            bk.scatter_rows(table.achieved_bps, rows, achieved)
+            bk.scatter_rows(table.remaining_bytes, rows, remaining)
             self._deliver_feedback_line(now)
 
         with self._sp_cc:
@@ -1216,6 +1221,7 @@ class FluidSimulation:
             self._maybe_stop()
             return
 
+        bk = self._backend
         inc = self._incidence
         inc.refresh(self._active_rows())
         num_flows = len(active)
@@ -1226,8 +1232,9 @@ class FluidSimulation:
         rates = np.fromiter(
             (flow.cc.rate_bps for flow in active), dtype=np.float64, count=num_flows
         )
-        offered = np.zeros(inc.num_links)
-        np.add.at(offered, idx, np.repeat(rates, inc.lengths))
+        offered = bk.scatter_add(
+            inc.num_links, idx, bk.expand_segments(rates, inc.lengths)
+        )
 
         # 2. queue integration + per-link scaling factor
         act = inc.active_slots
@@ -1249,14 +1256,15 @@ class FluidSimulation:
         inc.offered_bps[act] = offered[act]
 
         loaded = offered > 0
-        ratio = np.zeros(inc.num_links)
-        np.divide(cap, offered, out=ratio, where=loaded)
-        scale = np.where(
-            ~up, 0.0, np.where(loaded, np.minimum(1.0, ratio), 1.0)
+        ratio = bk.masked_divide(cap, offered, loaded)
+        scale = bk.masked_where(
+            ~up, 0.0, bk.masked_where(loaded, np.minimum(1.0, ratio), 1.0)
         )
 
         # 3. per-flow achieved rate: min scale across the path
-        factor = np.minimum.reduceat(scale[idx], starts)
+        factor = bk.segment_reduce(
+            bk.gather_rows(scale, idx), starts, inc.lengths, "min"
+        )
         achieved = rates * factor
         want = achieved * dt / 8.0
         before = np.fromiter(
@@ -1267,15 +1275,15 @@ class FluidSimulation:
         # 4. congestion feedback from the same arrays
         q = inc.queue_bytes
         span = inc.ecn_kmax - inc.ecn_kmin
-        mark = np.zeros(inc.num_links)
-        np.divide(
-            inc.ecn_pmax * (q - inc.ecn_kmin), span, out=mark, where=span > 0
+        mark = bk.masked_divide(inc.ecn_pmax * (q - inc.ecn_kmin), span, span > 0)
+        mark = bk.masked_where(
+            q <= inc.ecn_kmin, 0.0, bk.masked_where(q >= inc.ecn_kmax, 1.0, mark)
         )
-        mark = np.where(q <= inc.ecn_kmin, 0.0, np.where(q >= inc.ecn_kmax, 1.0, mark))
 
-        util = np.zeros(inc.num_links)
-        np.divide(offered, cap, out=util, where=cap > 0)
-        max_util = np.maximum.reduceat(util[idx], starts)
+        util = bk.masked_divide(offered, cap, cap > 0)
+        max_util = bk.segment_reduce(
+            bk.gather_rows(util, idx), starts, inc.lengths, "max"
+        )
 
         not_marked, queue_delay = self._accumulate_path_signals(
             inc, 1.0 - mark, q * 8.0 / cap

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..backend import get_backend
 from .link import RuntimeLink
 
 __all__ = ["FlowLinkIncidence"]
@@ -44,7 +45,16 @@ __all__ = ["FlowLinkIncidence"]
 class FlowLinkIncidence:
     """CSR-style flow×link incidence over a stable link registry."""
 
-    def __init__(self) -> None:
+    def __init__(self, backend=None) -> None:
+        """Create an empty incidence structure.
+
+        Args:
+            backend: the :class:`~repro.backend.core.ArrayBackend`
+                executing the segment kernels (liveness reductions); the
+                numpy reference backend when omitted.
+        """
+        #: the array backend for the structure's segment kernels
+        self.backend = backend if backend is not None else get_backend("numpy")
         # --- link registry (append-only) ---
         self._links: List[RuntimeLink] = []
         self._slot_of: Dict[RuntimeLink, int] = {}
@@ -246,8 +256,12 @@ class FlowLinkIncidence:
         """
         if len(self.starts) == 0:
             return np.empty(0, dtype=bool)
-        path_up = np.minimum.reduceat(
-            self.up[self.idx].astype(np.float64), self.starts
+        bk = self.backend
+        path_up = bk.segment_reduce(
+            bk.gather_rows(self.up, self.idx).astype(np.float64),
+            self.starts,
+            self.lengths,
+            "min",
         )
         return path_up < 0.5
 

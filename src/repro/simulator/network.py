@@ -66,9 +66,17 @@ class RuntimeNetwork:
                 ecn_pmax=self.config.ecn_pmax,
             )
 
+        # every router runs its batched selection kernels on the run's
+        # configured array backend (see repro.backend)
+        from ..backend import get_backend
+
+        router_backend = get_backend(self.config.backend)
         self._switches: Dict[str, DCISwitch] = {}
         for dc in topology.dcs:
-            switch = DCISwitch(dc, router_factory(dc))
+            router = router_factory(dc)
+            if hasattr(router, "backend"):
+                router.backend = router_backend
+            switch = DCISwitch(dc, router)
             for neighbor in topology.neighbors(dc):
                 if topology.nodes[neighbor].kind == "dci":
                     link = self._links.get((dc, neighbor))

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..backend import get_backend
 from .link import RuntimeLink
 from .switch import PortSample, build_port_sample
 
@@ -127,7 +128,7 @@ class TelemetryView:
 class TelemetryPlane:
     """Per-switch × per-port telemetry columns for one runtime network."""
 
-    def __init__(self, network, ewma_alpha: float = 0.125) -> None:
+    def __init__(self, network, ewma_alpha: float = 0.125, backend=None) -> None:
         """Build the port registry and allocate the columns.
 
         Args:
@@ -135,11 +136,14 @@ class TelemetryPlane:
                 whose DCI switch ports are monitored.
             ewma_alpha: weight of the newest sample in the queue-depth EWMA
                 column (``ewma = alpha * q + (1 - alpha) * ewma``).
+            backend: the :class:`~repro.backend.ArrayBackend` the sweep
+                gathers run on; defaults to the numpy reference backend.
         """
         if not 0 < ewma_alpha <= 1:
             raise ValueError("ewma_alpha must be in (0, 1]")
         self._network = network
         self.ewma_alpha = float(ewma_alpha)
+        self.backend = backend if backend is not None else get_backend("numpy")
 
         #: links in port-registry order (rows of every column)
         self.links: List[RuntimeLink] = []
@@ -234,11 +238,12 @@ class TelemetryPlane:
         if inc is not None:
             inc.ensure_fresh_links()
             slots = self._inc_slots
-            self.queue_bytes = inc.queue_bytes[slots]
-            self.carried_bytes = inc.carried_bytes[slots]
-            self.offered_bps = inc.offered_bps[slots]
-            self.cap_bps = inc.cap_bps[slots]
-            self.up = inc.up[slots]
+            bk = self.backend
+            self.queue_bytes = bk.gather_rows(inc.queue_bytes, slots)
+            self.carried_bytes = bk.gather_rows(inc.carried_bytes, slots)
+            self.offered_bps = bk.gather_rows(inc.offered_bps, slots)
+            self.cap_bps = bk.gather_rows(inc.cap_bps, slots)
+            self.up = bk.gather_rows(inc.up, slots)
         else:
             links = self.links
             self.queue_bytes = np.fromiter(
@@ -263,9 +268,9 @@ class TelemetryPlane:
             if dt > 0:
                 delta_bits = (self.carried_bytes - self._prev_carried) * 8.0
                 denom = self.cap_bps * dt
-                util = np.zeros(n)
-                np.divide(delta_bits, denom, out=util, where=denom > 0)
-                self.utilization = util
+                self.utilization = self.backend.masked_divide(
+                    delta_bits, denom, denom > 0
+                )
             alpha = self.ewma_alpha
             self.queue_ewma = alpha * self.queue_bytes + (1.0 - alpha) * self.queue_ewma
         self._prev_carried = self.carried_bytes

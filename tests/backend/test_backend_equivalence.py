@@ -1,0 +1,128 @@
+"""End-to-end backend equivalence: full simulations across array backends.
+
+The fused numpy backend promises **bitwise** identity with the reference
+on every observable output (FCT records, link stats, failures, scenario
+outcomes); the torch backend (exercised only where torch is installed)
+promises equivalence within the documented tolerance.  These runs cover
+the paths the kernels rewired: offered-load scatter-add, queue/ECN
+reductions, feedback delivery, batched routing and the CC slot kernels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congestion_control import make_cc_factory, make_mixed_cc_factory
+from repro.routing import make_router_factory
+from repro.scenarios.invariants import (
+    assert_results_close,
+    assert_results_identical,
+)
+from repro.simulator import FluidSimulation, RuntimeNetwork, SimulationConfig
+from repro.topology import build_testbed8
+from repro.topology import testbed8_pathset as _testbed8_pathset
+from repro.workloads import TrafficConfig, TrafficGenerator
+
+CCS = ["dcqcn", "hpcc", "timely", "dctcp", "ideal"]
+ROUTERS = ["ecmp", "wcmp", "ucmp", "redte"]
+
+
+def run_with(backend: str, cc="dcqcn", router="ecmp", cc_mix=None, seed=7):
+    """One small-but-complete testbed8 run on the given backend."""
+    topology = build_testbed8(capacity_scale=0.1)
+    paths = _testbed8_pathset(topology)
+    config = SimulationConfig(seed=seed, backend=backend)
+    traffic = TrafficConfig(
+        workload="websearch", load=0.4, num_flows=300,
+        pairs=[("DC1", "DC8"), ("DC2", "DC7")], seed=seed,
+    )
+    demands = TrafficGenerator(topology, paths, traffic).generate()
+    network = RuntimeNetwork(topology, paths, make_router_factory(router), config)
+    if cc_mix is not None:
+        factory = make_mixed_cc_factory(cc_mix, seed=seed)
+    else:
+        factory = make_cc_factory(cc)
+    sim = FluidSimulation(network, demands, factory, config)
+    result = sim.run()
+    assert result.records, "equivalence run completed no flows"
+    return result
+
+
+class TestFusedBitIdentity:
+    @pytest.mark.parametrize("cc", CCS)
+    def test_fused_identical_per_cc(self, cc):
+        reference = run_with("numpy", cc=cc)
+        fused = run_with("numpy_fused", cc=cc)
+        assert_results_identical(reference, fused, label=f"numpy vs fused [{cc}]")
+
+    @pytest.mark.parametrize("router", ROUTERS)
+    def test_fused_identical_per_router(self, router):
+        reference = run_with("numpy", router=router)
+        fused = run_with("numpy_fused", router=router)
+        assert_results_identical(
+            reference, fused, label=f"numpy vs fused [{router}]"
+        )
+
+    def test_fused_identical_lcmp(self):
+        from repro.core import lcmp_router_factory
+
+        def run(backend):
+            topology = build_testbed8(capacity_scale=0.1)
+            paths = _testbed8_pathset(topology)
+            config = SimulationConfig(seed=3, backend=backend)
+            traffic = TrafficConfig(
+                workload="websearch", load=0.4, num_flows=200,
+                pairs=[("DC1", "DC8")], seed=3,
+            )
+            demands = TrafficGenerator(topology, paths, traffic).generate()
+            factory = lcmp_router_factory(topology, paths)
+            network = RuntimeNetwork(topology, paths, factory, config)
+            sim = FluidSimulation(network, demands, make_cc_factory("dcqcn"), config)
+            return sim.run()
+
+        assert_results_identical(
+            run("numpy"), run("numpy_fused"), label="numpy vs fused [lcmp]"
+        )
+
+    def test_fused_identical_mixed_cc_fleet(self):
+        mix = (("dcqcn", 0.5), ("hpcc", 0.3), ("dctcp", 0.2))
+        reference = run_with("numpy", cc_mix=mix)
+        fused = run_with("numpy_fused", cc_mix=mix)
+        assert_results_identical(reference, fused, label="numpy vs fused [mix]")
+
+    def test_fused_identical_to_scalar_core(self):
+        topology = build_testbed8(capacity_scale=0.1)
+        paths = _testbed8_pathset(topology)
+        traffic = TrafficConfig(
+            workload="websearch", load=0.4, num_flows=120,
+            pairs=[("DC1", "DC8")], seed=11,
+        )
+        demands = TrafficGenerator(topology, paths, traffic).generate()
+
+        def run(config):
+            network = RuntimeNetwork(
+                topology, paths, make_router_factory("ecmp"), config
+            )
+            sim = FluidSimulation(
+                network, list(demands), make_cc_factory("dcqcn"), config
+            )
+            return sim.run()
+
+        scalar = run(SimulationConfig(seed=11, vectorized=False))
+        fused = run(SimulationConfig(seed=11, backend="numpy_fused"))
+        assert_results_identical(scalar, fused, label="scalar vs fused")
+
+
+class TestTorchTolerance:
+    def test_torch_within_tolerance(self):
+        pytest.importorskip("torch")
+        reference = run_with("numpy")
+        torch_run = run_with("torch")
+        assert_results_close(reference, torch_run, label="numpy vs torch")
+
+    @pytest.mark.parametrize("cc", ["hpcc", "dctcp"])
+    def test_torch_within_tolerance_per_cc(self, cc):
+        pytest.importorskip("torch")
+        reference = run_with("numpy", cc=cc)
+        torch_run = run_with("torch", cc=cc)
+        assert_results_close(reference, torch_run, label=f"numpy vs torch [{cc}]")

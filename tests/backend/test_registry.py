@@ -1,0 +1,89 @@
+"""Backend registry and ``SimulationConfig.backend`` plumbing tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    ArrayBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    torch_available,
+)
+from repro.backend.core import _FACTORIES
+from repro.simulator import SimulationConfig
+
+
+class TestRegistry:
+    def test_numpy_backends_always_available(self):
+        names = available_backends()
+        assert "numpy" in names
+        assert "numpy_fused" in names
+
+    def test_torch_listed_only_when_importable(self):
+        assert ("torch" in available_backends()) == torch_available()
+
+    def test_instances_are_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_unknown_name_raises_with_known_names(self):
+        with pytest.raises(ValueError, match="unknown array backend"):
+            get_backend("cupy_nonexistent")
+
+    def test_torch_factory_registered_even_without_torch(self):
+        # the registry entry exists so the config error message names it;
+        # construction raises ImportError when torch is absent
+        assert "torch" in _FACTORIES
+        if not torch_available():
+            with pytest.raises(ImportError):
+                get_backend("torch")
+
+    def test_register_custom_backend(self):
+        class Custom(ArrayBackend):
+            name = "custom_test"
+
+        register_backend("custom_test", Custom)
+        try:
+            assert get_backend("custom_test").name == "custom_test"
+        finally:
+            from repro.backend.core import _INSTANCES
+
+            _FACTORIES.pop("custom_test", None)
+            _INSTANCES.pop("custom_test", None)
+
+    def test_backend_attributes(self):
+        numpy_bk = get_backend("numpy")
+        fused_bk = get_backend("numpy_fused")
+        assert numpy_bk.name == "numpy"
+        assert fused_bk.name == "numpy_fused"
+        assert numpy_bk.xp is np
+        assert not numpy_bk.is_device
+        assert not fused_bk.is_device
+
+
+class TestConfigPlumbing:
+    def test_default_backend_is_numpy(self):
+        config = SimulationConfig()
+        config.validate()
+        assert config.backend == "numpy"
+
+    def test_fused_backend_accepted(self):
+        SimulationConfig(backend="numpy_fused").validate()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            SimulationConfig(backend="jax").validate()
+
+    def test_scalar_core_only_runs_reference_backend(self):
+        with pytest.raises(ValueError, match="scalar core"):
+            SimulationConfig(vectorized=False, backend="numpy_fused").validate()
+
+    def test_experiment_spec_carries_backend(self):
+        from repro.experiments.configs import ExperimentSpec
+        from repro.experiments.runner import ExperimentRunner
+
+        spec = ExperimentSpec(name="bk", backend="numpy_fused")
+        config = ExperimentRunner().simulation_config_for(spec)
+        assert config.backend == "numpy_fused"

@@ -4,8 +4,9 @@ The harness is the glue between generated cases and the reusable
 invariant checkers: ``run_case`` builds and runs one simulation for one
 core flavour, ``check_all_invariants`` runs the full cross-core sweep —
 scalar (reference, with the live dead-link monitor attached), legacy
-vectorized, SoA, cc_blocks, and cc_blocks with instrumentation — and
-asserts all four invariant families on the results.
+vectorized, SoA, cc_blocks, cc_blocks on the fused array backend (and on
+the torch backend where torch is installed), and cc_blocks with
+instrumentation — and asserts all four invariant families on the results.
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ from repro.scenarios.fuzz import FuzzCase, build_fuzz_pathset, build_fuzz_topolo
 from repro.scenarios.invariants import (
     CORE_CONFIGS,
     DeadLinkMonitor,
+    assert_results_close,
     assert_results_identical,
     check_demand_conservation,
     check_no_dead_link_traffic,
@@ -103,12 +105,21 @@ def check_all_invariants(case: FuzzCase, require_drained: bool = True) -> Dict[s
     )
 
     results: Dict[str, object] = {"scalar": reference}
-    for core in ("vectorized", "soa", "cc_blocks"):
+    for core in ("vectorized", "soa", "cc_blocks", "numpy_fused"):
         other, other_monitor = run_case(case, core=core, with_monitor=True)
         check_demand_conservation(other, len(case.demands))
         check_no_dead_link_traffic(other, case.scenario, topology, other_monitor)
         assert_results_identical(reference, other, label=f"scalar vs {core}")
         results[core] = other
+    if "torch" in CORE_CONFIGS:
+        # device backend: duplicate-accumulation order is unspecified on
+        # GPUs, so this core is held to the documented tolerance instead
+        # of bitwise identity (DESIGN.md, "Array backends & kernels")
+        other, other_monitor = run_case(case, core="torch", with_monitor=True)
+        check_demand_conservation(other, len(case.demands))
+        check_no_dead_link_traffic(other, case.scenario, topology, other_monitor)
+        assert_results_close(reference, other, label="scalar vs torch")
+        results["torch"] = other
     instrumented, _ = run_case(case, core="cc_blocks", instrumentation=True)
     assert_results_identical(reference, instrumented, label="scalar vs instrumented")
     results["instrumented"] = instrumented
