@@ -182,6 +182,7 @@ class LCMPRouter(Router):
         demands: Sequence[FlowDemand],
         times: Optional[Sequence[float]] = None,
         now: float = 0.0,
+        path_ids: Optional[Sequence[int]] = None,
     ) -> np.ndarray:
         """Batched LCMP decision, identical per flow to :meth:`select`.
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from ..core.config import LCMPConfig
+from ..topology.generators import FabricSpec
 
 __all__ = [
     "DEFAULT_CAPACITY_SCALE",
@@ -57,7 +58,14 @@ class ExperimentSpec:
 
     Attributes:
         name: label used in reports.
-        topology: ``"testbed8"`` or ``"bso13"``.
+        topology: ``"testbed8"``, ``"bso13"``, or ``"fabric"`` (requires
+            :attr:`fabric`).
+        fabric: :class:`~repro.topology.generators.FabricSpec` describing
+            a generated continent-scale fabric; only consulted when
+            :attr:`topology` is ``"fabric"``.
+        lazy_paths: materialize candidate paths on first request (the
+            default) or eagerly for every pair at construction time.
+            Routing decisions are bit-identical either way.
         router: routing algorithm name (``"lcmp"``, ``"ecmp"``, ``"ucmp"``,
             ``"wcmp"``, ``"redte"``).
         workload: flow-size distribution name.
@@ -96,6 +104,8 @@ class ExperimentSpec:
 
     name: str
     topology: str = "testbed8"
+    fabric: Optional[FabricSpec] = None
+    lazy_paths: bool = True
     router: str = "lcmp"
     workload: str = "websearch"
     load: float = 0.3
@@ -143,7 +153,11 @@ class ExperimentSpec:
         Raises:
             ValueError: for unknown topology names or non-positive loads.
         """
-        if self.topology not in ("testbed8", "bso13"):
+        if self.topology == "fabric":
+            if self.fabric is None:
+                raise ValueError('topology "fabric" requires a FabricSpec in spec.fabric')
+            self.fabric.validate()
+        elif self.topology not in ("testbed8", "bso13"):
             raise ValueError(f"unknown topology {self.topology!r}")
         if self.load <= 0:
             raise ValueError("load must be positive")

@@ -50,7 +50,16 @@ from ..obs import merge_snapshots
 from ..routing import make_router_factory
 from ..simulator import FluidSimulation, RuntimeNetwork, SimulationConfig, SimulationResult
 from ..simulator.fct import FlowRecord
-from ..topology import PathSet, Topology, bso13_pathset, build_bso13, build_testbed8, testbed8_pathset
+from ..topology import (
+    PathSet,
+    Topology,
+    bso13_pathset,
+    build_bso13,
+    build_fabric,
+    build_testbed8,
+    fabric_pathset,
+    testbed8_pathset,
+)
 from ..workloads import TrafficConfig, TrafficGenerator
 from .configs import ExperimentSpec
 
@@ -124,14 +133,19 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ #
     def topology_for(self, spec: ExperimentSpec) -> Tuple[Topology, PathSet]:
         """Build (or fetch from cache) the topology + path set of a spec."""
-        key = (spec.topology, spec.capacity_scale)
+        key = (spec.topology, spec.capacity_scale, spec.fabric, spec.lazy_paths)
         if key not in self._topology_cache:
             if spec.topology == "testbed8":
                 topo = build_testbed8(capacity_scale=spec.capacity_scale)
-                pathset = testbed8_pathset(topo)
+                pathset = testbed8_pathset(topo, lazy=spec.lazy_paths)
             elif spec.topology == "bso13":
                 topo = build_bso13(capacity_scale=spec.capacity_scale)
-                pathset = bso13_pathset(topo)
+                pathset = bso13_pathset(topo, lazy=spec.lazy_paths)
+            elif spec.topology == "fabric":
+                if spec.fabric is None:
+                    raise ValueError('topology "fabric" requires a FabricSpec in spec.fabric')
+                topo = build_fabric(spec.fabric, capacity_scale=spec.capacity_scale)
+                pathset = fabric_pathset(topo, lazy=spec.lazy_paths)
             else:
                 raise ValueError(f"unknown topology {spec.topology!r}")
             self._topology_cache[key] = (topo, pathset)

@@ -133,6 +133,7 @@ class Router(abc.ABC):
         demands: Sequence[FlowDemand],
         times: Optional[Sequence[float]] = None,
         now: float = 0.0,
+        path_ids: Optional[Sequence[int]] = None,
     ) -> np.ndarray:
         """Pick one candidate per demand for a batch of new flows.
 
@@ -152,6 +153,11 @@ class Router(abc.ABC):
                 arrival instant even when a batch is drained early); falls
                 back to ``now`` for every demand when omitted.
             now: scalar decision time used when ``times`` is omitted.
+            path_ids: global integer path ids aligned with ``candidates``
+                (see :meth:`PathSet.candidate_ids`).  Routers that cache
+                per-candidate-set state key on these ids when given —
+                integer tuples hash far cheaper than per-candidate DC name
+                tuples on the arrival hot path.
 
         Returns:
             Integer index into ``candidates`` per demand.

@@ -53,6 +53,7 @@ class ECMPRouter(Router):
         demands: Sequence[FlowDemand],
         times: Optional[Sequence[float]] = None,
         now: float = 0.0,
+        path_ids: Optional[Sequence[int]] = None,
     ) -> np.ndarray:
         """Vectorized hashing: one array op for the whole batch."""
         self.decisions += len(demands)

@@ -158,6 +158,7 @@ class RedTERouter(Router):
         demands: Sequence[FlowDemand],
         times: Optional[Sequence[float]] = None,
         now: float = 0.0,
+        path_ids: Optional[Sequence[int]] = None,
     ) -> np.ndarray:
         """Vectorized weighted hashing under the current split ratios.
 

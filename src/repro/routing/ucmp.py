@@ -82,15 +82,23 @@ class UCMPRouter(Router):
         return cheapest_class[index]
 
     def _cheapest_class_for(
-        self, dst_dc: str, candidates: Sequence[CandidatePath]
+        self,
+        dst_dc: str,
+        candidates: Sequence[CandidatePath],
+        path_ids: Optional[Sequence[int]] = None,
     ) -> np.ndarray:
         """Candidate indices of the cost-sorted cheapest capacity class.
 
         The filter and the stable cost sort are flow-independent, so the
         resulting index array matches the list ``select`` hashes into,
-        position for position.
+        position for position.  With ``path_ids`` the cache keys on the
+        integer ids (cheap to hash); otherwise on the candidates' DC name
+        tuples.
         """
-        key = (dst_dc,) + tuple(c.dcs for c in candidates)
+        if path_ids is not None:
+            key = (dst_dc,) + tuple(path_ids)
+        else:
+            key = (dst_dc,) + tuple(c.dcs for c in candidates)
         entry = self._class_cache.get(key)
         if entry is None:
             best_capacity = max(c.bottleneck_bps for c in candidates)
@@ -110,10 +118,11 @@ class UCMPRouter(Router):
         demands: Sequence[FlowDemand],
         times: Optional[Sequence[float]] = None,
         now: float = 0.0,
+        path_ids: Optional[Sequence[int]] = None,
     ) -> np.ndarray:
         """Hash the batch inside the cached cheapest capacity class."""
         self.decisions += len(demands)
-        cheapest = self._cheapest_class_for(dst_dc, candidates)
+        cheapest = self._cheapest_class_for(dst_dc, candidates, path_ids)
         ids = np.fromiter(
             (d.flow_id for d in demands), dtype=np.int64, count=len(demands)
         )

@@ -57,9 +57,17 @@ class WCMPRouter(Router):
         return candidates[-1]
 
     def _cumulative_for(
-        self, dst_dc: str, candidates: Sequence[CandidatePath]
+        self,
+        dst_dc: str,
+        candidates: Sequence[CandidatePath],
+        path_ids: Optional[Sequence[int]] = None,
     ) -> Tuple[np.ndarray, float]:
-        key = (dst_dc,) + tuple(c.dcs for c in candidates)
+        # integer path ids (when the caller has them) hash far cheaper
+        # than per-candidate DC name tuples
+        if path_ids is not None:
+            key = (dst_dc,) + tuple(path_ids)
+        else:
+            key = (dst_dc,) + tuple(c.dcs for c in candidates)
         entry = self._cumulative_cache.get(key)
         if entry is None:
             weights = [max(c.bottleneck_bps, 1.0) for c in candidates]
@@ -77,6 +85,7 @@ class WCMPRouter(Router):
         demands: Sequence[FlowDemand],
         times: Optional[Sequence[float]] = None,
         now: float = 0.0,
+        path_ids: Optional[Sequence[int]] = None,
     ) -> np.ndarray:
         """Vectorized weighted hashing over the cached cumulative table.
 
@@ -86,7 +95,7 @@ class WCMPRouter(Router):
         ``candidates[-1]`` fallthrough.
         """
         self.decisions += len(demands)
-        cumulative, total = self._cumulative_for(dst_dc, candidates)
+        cumulative, total = self._cumulative_for(dst_dc, candidates, path_ids)
         ids = np.fromiter(
             (d.flow_id for d in demands), dtype=np.int64, count=len(demands)
         )

@@ -296,17 +296,18 @@ class IdealFctModel:
             rate = nic_limit if nic_limit != float("inf") else 100e9
             options.append((access_delay, rate))
         else:
-            candidates = self._pathset.candidates(src_dc, dst_dc)
-            if not candidates:
+            # columnar pair metrics: no CandidatePath views are built
+            delays, bnecks = self._pathset.pair_metrics(src_dc, dst_dc)
+            if len(delays) == 0:
                 best = shortest_delay_path(self._topology, src_dc, dst_dc)
                 if best is None:
                     raise ValueError(f"no path between {src_dc} and {dst_dc}")
-                candidates = [best]
-            for candidate in candidates:
+                delays, bnecks = [best.delay_s], [best.bottleneck_bps]
+            for delay_s, bneck_bps in zip(delays, bnecks):
                 options.append(
                     (
-                        access_delay + candidate.delay_s,
-                        min(nic_limit, candidate.bottleneck_bps),
+                        access_delay + float(delay_s),
+                        min(nic_limit, float(bneck_bps)),
                     )
                 )
         self._cache[key] = options

@@ -1490,6 +1490,12 @@ class FluidSimulation:
         obs.counter("flow_cache.misses").inc(misses)
         obs.counter("flow_cache.evictions").inc(evictions)
         obs.counter("flow_cache.gc_evictions").inc(gc_evictions)
+        pathset = getattr(self.network, "pathset", None)
+        if pathset is not None and hasattr(pathset, "memory_bytes"):
+            obs.gauge("topology.pathset_bytes").set(float(pathset.memory_bytes()))
+            obs.gauge("topology.pathset_paths").set(float(pathset.num_paths))
+            obs.counter("topology.pathset_searches").inc(pathset.searches_run)
+            obs.counter("topology.pathset_evictions").inc(pathset.cache_evictions)
         if self.injector is not None:
             applied = sum(
                 1

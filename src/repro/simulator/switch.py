@@ -374,7 +374,9 @@ class DCISwitch:
         usable_ids = (
             [path_ids[j] for j in positions] if path_ids is not None else None
         )
-        chosen_idx = self.router.select_batch(dst_dc, usable, demands, times)
+        chosen_idx = self.router.select_batch(
+            dst_dc, usable, demands, times, path_ids=usable_ids
+        )
         self.decision_log.append_batch(
             demands, times, usable, chosen_idx, dst_dc, fallback, path_ids=usable_ids
         )

@@ -25,8 +25,16 @@ from .graph import (
     TopologyError,
     power_redundancy_rank,
 )
+from .generators import CONTINENT_400, FabricSpec, build_fabric, fabric_pathset
+from .index import TopologyIndex
 from .leaf_spine import PodSpec, build_pod
-from .paths import CandidatePath, PathSet, enumerate_paths, shortest_delay_path
+from .paths import (
+    CandidatePath,
+    PathSet,
+    PathView,
+    enumerate_paths,
+    shortest_delay_path,
+)
 from .testbed8 import DC_ATTR_PLAN, RELAY_PLAN, build_testbed8, testbed8_pathset
 from .bso13 import BSO_EDGES, build_bso13, bso13_pathset
 
@@ -49,8 +57,14 @@ __all__ = [
     "build_pod",
     "CandidatePath",
     "PathSet",
+    "PathView",
+    "TopologyIndex",
     "enumerate_paths",
     "shortest_delay_path",
+    "FabricSpec",
+    "CONTINENT_400",
+    "build_fabric",
+    "fabric_pathset",
     "RELAY_PLAN",
     "build_testbed8",
     "testbed8_pathset",

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from types import MappingProxyType as _MappingProxyType
 from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
@@ -205,6 +206,19 @@ class Topology:
         self._links: Dict[Tuple[str, str], LinkSpec] = {}
         self._host_groups: Dict[str, HostGroup] = {}
         self._dc_attrs: Dict[str, DCAttrs] = {}
+        # adjacency index maintained incrementally by add_link so
+        # neighbors() never has to scan the full link table
+        self._adjacency: Dict[str, List[str]] = {}
+        # mutation counter: bumped on every add_*; version-tagged caches
+        # (cached property tuples, the inter-DC integer index) compare
+        # against it instead of being invalidated one by one
+        self._version = 0
+        self._cache_version = -1
+        self._dcs_cache: Tuple[str, ...] = ()
+        self._links_cache: Tuple[LinkSpec, ...] = ()
+        self._inter_dc_cache: Tuple[LinkSpec, ...] = ()
+        self._neighbors_cache: Dict[str, Tuple[str, ...]] = {}
+        self._index_cache = None  # (version, TopologyIndex)
 
     # ------------------------------------------------------------------ #
     # construction
@@ -219,6 +233,7 @@ class Topology:
             raise TopologyError(f"duplicate node {name!r}")
         node = Node(name=name, kind=kind, dc=dc or name)
         self._nodes[name] = node
+        self._version += 1
         return node
 
     def add_dc(
@@ -328,6 +343,8 @@ class Topology:
             inter_dc=bool(inter_dc),
         )
         self._links[(src, dst)] = spec
+        self._adjacency.setdefault(src, []).append(dst)
+        self._version += 1
         return spec
 
     def add_inter_dc_link(
@@ -346,25 +363,49 @@ class Topology:
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
+    def _refresh_caches(self) -> None:
+        """Rebuild the cached query tuples after a mutation.
+
+        The cached tuples (``dcs``, ``links``, ``inter_dc_links`` and the
+        per-node ``neighbors`` results) are version-tagged: any ``add_*``
+        call bumps ``_version`` and the next query rebuilds them all at
+        once.  Between mutations every query is a cached-tuple return —
+        no per-access container copies (hot loops iterate ``dcs`` and
+        ``neighbors`` per flow batch and per telemetry sweep).
+        """
+        if self._cache_version == self._version:
+            return
+        self._dcs_cache = tuple(
+            n.name for n in self._nodes.values() if n.kind == NodeKind.DCI
+        )
+        self._links_cache = tuple(self._links.values())
+        self._inter_dc_cache = tuple(l for l in self._links_cache if l.inter_dc)
+        self._neighbors_cache = {
+            src: tuple(dsts) for src, dsts in self._adjacency.items()
+        }
+        self._cache_version = self._version
+
     @property
     def nodes(self) -> Dict[str, Node]:
-        """Mapping of node name to :class:`Node`."""
-        return dict(self._nodes)
+        """Read-only live view of node name to :class:`Node`."""
+        return _MappingProxyType(self._nodes)
 
     @property
-    def links(self) -> List[LinkSpec]:
-        """All directed links, in insertion order."""
-        return list(self._links.values())
+    def links(self) -> Tuple[LinkSpec, ...]:
+        """All directed links, in insertion order (cached tuple)."""
+        self._refresh_caches()
+        return self._links_cache
 
     @property
-    def dcs(self) -> List[str]:
+    def dcs(self) -> Tuple[str, ...]:
         """Names of all datacenters (DCI switch nodes), in insertion order."""
-        return [n.name for n in self._nodes.values() if n.kind == NodeKind.DCI]
+        self._refresh_caches()
+        return self._dcs_cache
 
     @property
     def host_groups(self) -> Dict[str, HostGroup]:
-        """Per-DC host groups."""
-        return dict(self._host_groups)
+        """Read-only live view of per-DC host groups."""
+        return _MappingProxyType(self._host_groups)
 
     def link(self, src: str, dst: str) -> LinkSpec:
         """Return the directed link from ``src`` to ``dst``.
@@ -381,14 +422,37 @@ class Topology:
         """True when a directed link from ``src`` to ``dst`` exists."""
         return (src, dst) in self._links
 
-    def neighbors(self, node: str) -> List[str]:
-        """Names of nodes reachable over one directed link from ``node``."""
-        self._require_node(node)
-        return [dst for (src, dst) in self._links if src == node]
+    def neighbors(self, node: str) -> Tuple[str, ...]:
+        """Names of nodes reachable over one directed link from ``node``.
 
-    def inter_dc_links(self) -> List[LinkSpec]:
-        """All directed inter-DC links."""
-        return [l for l in self._links.values() if l.inter_dc]
+        Served from the incrementally maintained adjacency index — no
+        scan over the link table.
+        """
+        self._require_node(node)
+        self._refresh_caches()
+        return self._neighbors_cache.get(node, ())
+
+    def inter_dc_links(self) -> Tuple[LinkSpec, ...]:
+        """All directed inter-DC links (cached tuple)."""
+        self._refresh_caches()
+        return self._inter_dc_cache
+
+    def inter_dc_index(self):
+        """The integer-indexed view of the inter-DC graph.
+
+        Built once per topology version and shared by every consumer
+        (path enumeration, reachability checks, runtime wiring); any
+        ``add_*`` mutation invalidates it.  Returns a
+        :class:`repro.topology.index.TopologyIndex`.
+        """
+        cached = self._index_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        from .index import TopologyIndex
+
+        index = TopologyIndex(self)
+        self._index_cache = (self._version, index)
+        return index
 
     def dc_pairs(self, ordered: bool = True) -> Iterator[Tuple[str, str]]:
         """Iterate over distinct (src DC, dst DC) pairs.
@@ -443,6 +507,17 @@ class Topology:
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
+    def __getstate__(self) -> Dict[str, object]:
+        """Drop derived caches when pickling (rebuilt lazily on use)."""
+        state = self.__dict__.copy()
+        state["_cache_version"] = -1
+        state["_dcs_cache"] = ()
+        state["_links_cache"] = ()
+        state["_inter_dc_cache"] = ()
+        state["_neighbors_cache"] = {}
+        state["_index_cache"] = None
+        return state
+
     def _require_node(self, name: str) -> None:
         if name not in self._nodes:
             raise TopologyError(f"unknown node {name!r}")

@@ -99,17 +99,19 @@ class TrafficGenerator:
     def _resolve_pairs(self) -> List[Tuple[str, str]]:
         pairs = self.config.pairs
         if pairs == "all_to_all":
+            # reachability, not candidates(): with a lazy path set the
+            # latter would materialize every pair up front
             resolved = [
                 (src, dst)
                 for (src, dst) in self.pathset.all_pairs()
-                if self.pathset.candidates(src, dst)
+                if self.pathset.has_path(src, dst)
             ]
         else:
             resolved = [(str(a), str(b)) for a, b in pairs]
             for src, dst in resolved:
                 if src == dst:
                     raise ValueError("traffic pairs must connect distinct DCs")
-                if not self.pathset.candidates(src, dst):
+                if not self.pathset.has_path(src, dst):
                     raise ValueError(f"no candidate path for pair ({src}, {dst})")
         if not resolved:
             raise ValueError("no usable DC pairs for traffic generation")

@@ -48,6 +48,7 @@ def run_case(
     core: str = "cc_blocks",
     instrumentation: bool = False,
     with_monitor: bool = False,
+    lazy: bool = True,
 ):
     """Run one fuzz case on one core.
 
@@ -56,7 +57,7 @@ def run_case(
         attached :class:`DeadLinkMonitor` (``None`` unless requested).
     """
     topology = build_fuzz_topology(case.topology_name)
-    paths = build_fuzz_pathset(topology)
+    paths = build_fuzz_pathset(topology, lazy=lazy)
     config = make_config(case, core, instrumentation)
     network = RuntimeNetwork(topology, paths, make_router_factory("ecmp"), config)
     if isinstance(case.cc, tuple):
@@ -123,4 +124,10 @@ def check_all_invariants(case: FuzzCase, require_drained: bool = True) -> Dict[s
     instrumented, _ = run_case(case, core="cc_blocks", instrumentation=True)
     assert_results_identical(reference, instrumented, label="scalar vs instrumented")
     results["instrumented"] = instrumented
+    # lazy vs eager path sets must be indistinguishable at run level
+    eager, eager_monitor = run_case(case, core="cc_blocks", with_monitor=True, lazy=False)
+    check_demand_conservation(eager, len(case.demands))
+    check_no_dead_link_traffic(eager, case.scenario, topology, eager_monitor)
+    assert_results_identical(reference, eager, label="lazy vs eager pathset")
+    results["eager_paths"] = eager
     return results

@@ -28,7 +28,7 @@ class TestNodes:
         topo = make_two_dc()
         assert topo.nodes["DC1"].kind == NodeKind.DCI
         assert topo.nodes["DC1"].dc == "DC1"
-        assert topo.dcs == ["DC1", "DC2"]
+        assert topo.dcs == ("DC1", "DC2")
 
     def test_duplicate_node_rejected(self):
         topo = make_two_dc()
@@ -96,7 +96,7 @@ class TestLinks:
         topo.add_inter_dc_link("DC1", "DC2", GBPS, MS)
         topo.add_inter_dc_link("DC1", "DC3", GBPS, MS)
         assert sorted(topo.neighbors("DC1")) == ["DC2", "DC3"]
-        assert topo.neighbors("DC2") == ["DC1"]
+        assert topo.neighbors("DC2") == ("DC1",)
 
 
 class TestHosts:
